@@ -1,0 +1,291 @@
+(* Bench harness.
+
+   Two parts, one exe:
+
+   1. {b Figure regeneration} — for every table/figure of the paper's
+      evaluation (Figs. 4–8, the T-vsa timing claim, plus the baseline
+      and ablation tables), print the same rows/series the paper
+      reports, via {!P2plb.Experiments}.  Scale is controlled by the
+      [P2PLB_NODES] / [P2PLB_GRAPHS] environment variables (defaults
+      2048 / 3 keep a full run to minutes; the paper's scale is
+      4096 / 10 — see EXPERIMENTS.md for full-scale numbers).
+
+   2. {b Bechamel micro-benchmarks} — one [Test.make] per
+      figure/table, timing the computational kernel that experiment
+      exercises (tree construction + sweeps for T-vsa, a full balance
+      round for Figs. 4–6, the aware/ignorant VSA for Figs. 7–8,
+      pairing and the curve encodings for the ablations). *)
+
+module E = P2plb.Experiments
+module Scenario = P2plb.Scenario
+module Controller = P2plb.Controller
+module Pairing = P2plb.Pairing
+module Types = P2plb.Types
+module Dht = P2plb_chord.Dht
+module Ktree = P2plb_ktree.Ktree
+module Graph = P2plb_topology.Graph
+module TS = P2plb_topology.Transit_stub
+module Hilbert = P2plb_hilbert.Hilbert
+module Workload = P2plb_workload.Workload
+module Prng = P2plb_prng.Prng
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some v -> ( match int_of_string_opt v with Some i -> i | None -> default)
+  | None -> default
+
+let n_nodes = env_int "P2PLB_NODES" 2048
+let graphs = env_int "P2PLB_GRAPHS" 3
+let seed = env_int "P2PLB_SEED" 1
+
+let section title =
+  Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
+
+let figures () =
+  section "Figure 4 (unit load before/after, Gaussian)";
+  print_string (E.render_fig4 (E.fig4 ~seed ~n_nodes ()));
+  section "Figure 5 (load vs capacity, Gaussian)";
+  print_string
+    (E.render_capacity_alignment
+       ~title:"load/capacity alignment after LB (Gaussian)"
+       (E.fig5 ~seed ~n_nodes ()));
+  section "Figure 6 (load vs capacity, Pareto)";
+  print_string
+    (E.render_capacity_alignment
+       ~title:"load/capacity alignment after LB (Pareto 1.5)"
+       (E.fig6 ~seed ~n_nodes ()));
+  section "Figure 7 (moved load vs distance, ts5k-large)";
+  print_string
+    (E.render_proximity
+       ~title:
+         "paper: aware 67%@2 hops, 86%@10; ignorant 13%@10 (10 graphs, 4096 \
+          nodes)"
+       (E.fig7 ~seed ~graphs ~n_nodes ()));
+  section "Figure 8 (moved load vs distance, ts5k-small)";
+  print_string
+    (E.render_proximity
+       ~title:"paper: aware well ahead of ignorant on a scattered overlay"
+       (E.fig8 ~seed ~graphs ~n_nodes ()));
+  section "T-vsa (VSA rounds vs N, K = 2 and 8)";
+  print_string (E.render_tvsa [ E.tvsa ~seed ~k:2 (); E.tvsa ~seed ~k:8 () ]);
+  section "Baselines (CFS, Rao et al.)";
+  print_string (E.render_baselines (E.baselines ~seed ~n_nodes ()));
+  section "Churn / self-repair";
+  print_string (E.render_churn (E.churn ~seed ~n_nodes:(min n_nodes 1024) ()));
+  section "Replicated-store durability under churn";
+  print_string (E.render_durability (E.durability ~seed ()));
+  section "Periodic balancing under load drift";
+  print_string (E.render_load_drift (E.load_drift ~seed ()));
+  section "Message overhead per phase";
+  print_string (E.render_overhead (E.overhead ~seed ()));
+  section "Ablations";
+  print_string
+    (E.render_sweep ~title:"epsilon_rel sweep"
+       ~header:[ "epsilon_rel"; "heavy after"; "moved" ]
+       (List.map
+          (fun (e, h, m) ->
+            [
+              Printf.sprintf "%.2f" e;
+              string_of_int h;
+              Printf.sprintf "%.1f%%" (100.0 *. m);
+            ])
+          (E.ablation_epsilon ~seed ~n_nodes:(min n_nodes 2048) ())));
+  print_newline ();
+  print_string
+    (E.render_sweep ~title:"rendezvous threshold sweep"
+       ~header:[ "threshold"; "CDF@2"; "CDF@10" ]
+       (List.map
+          (fun (t, a, b) ->
+            [ string_of_int t; Printf.sprintf "%.3f" a; Printf.sprintf "%.3f" b ])
+          (E.ablation_threshold ~seed ~n_nodes:(min n_nodes 2048) ())));
+  print_newline ();
+  print_string
+    (E.render_sweep ~title:"space-filling curve sweep"
+       ~header:[ "curve"; "CDF@2"; "CDF@10" ]
+       (List.map
+          (fun (c, a, b) ->
+            [ c; Printf.sprintf "%.3f" a; Printf.sprintf "%.3f" b ])
+          (E.ablation_curve ~seed ~n_nodes:(min n_nodes 2048) ())));
+  print_newline ();
+  print_string
+    (E.render_sweep ~title:"K-nary degree sweep"
+       ~header:[ "K"; "depth"; "KT nodes"; "messages" ]
+       (List.map
+          (fun (k, d, n, m) ->
+            [ string_of_int k; string_of_int d; string_of_int n; string_of_int m ])
+          (E.ablation_k ~seed ~n_nodes:(min n_nodes 2048) ())));
+  print_newline ();
+  print_string
+    (E.render_sweep ~title:"landmark count sweep"
+       ~header:[ "m"; "order"; "CDF@2"; "CDF@10" ]
+       (List.map
+          (fun (m, o, a, b) ->
+            [
+              string_of_int m;
+              string_of_int o;
+              Printf.sprintf "%.3f" a;
+              Printf.sprintf "%.3f" b;
+            ])
+          (E.ablation_landmarks ~seed ~n_nodes:(min n_nodes 2048) ())))
+
+(* ---- bechamel micro-benchmarks ----------------------------------------- *)
+
+open Bechamel
+open Toolkit
+
+(* Shared small fixtures so each timed closure is pure computation. *)
+let bench_nodes = 512
+
+let fixture =
+  lazy
+    (let config =
+       {
+         Scenario.default with
+         n_nodes = bench_nodes;
+         topology = { TS.ts5k_large with TS.mean_stub_size = 15 };
+       }
+     in
+     Scenario.build ~seed:123 config)
+
+let fresh_scenario () =
+  let config =
+    {
+      Scenario.default with
+      n_nodes = bench_nodes;
+      topology = { TS.ts5k_large with TS.mean_stub_size = 15 };
+    }
+  in
+  Scenario.build ~seed:123 config
+
+let pairing_fixture =
+  lazy
+    (let rng = Prng.create ~seed:5 in
+     let sheds =
+       List.init 500 (fun i ->
+           Types.
+             {
+               vs_load = Prng.unit_float rng;
+               vs_id = i;
+               heavy_node = i;
+             })
+     in
+     let lights =
+       List.init 500 (fun i ->
+           Types.{ deficit = 2.0 *. Prng.unit_float rng; light_node = 1000 + i })
+     in
+     Pairing.of_entries sheds lights)
+
+let coords15 =
+  let rng = Prng.create ~seed:6 in
+  Array.init 1000 (fun _ -> Array.init 15 (fun _ -> Prng.int rng 4))
+
+let tests =
+  [
+    (* T-vsa: the aggregation infrastructure itself. *)
+    Test.make ~name:"tvsa/ktree_build_k2"
+      (Staged.stage (fun () ->
+           let s = Lazy.force fixture in
+           ignore (Ktree.build ~k:2 s.Scenario.dht)));
+    Test.make ~name:"tvsa/ktree_build_k8"
+      (Staged.stage (fun () ->
+           let s = Lazy.force fixture in
+           ignore (Ktree.build ~k:8 s.Scenario.dht)));
+    Test.make ~name:"tvsa/lbi_round"
+      (Staged.stage
+         (let s = Lazy.force fixture in
+          let tree = Ktree.build ~k:2 s.Scenario.dht in
+          fun () -> ignore (P2plb.Lbi.run ~rng:s.Scenario.rng tree s.Scenario.dht)));
+    (* Figs. 4-6: a full balance round (Gaussian / Pareto loads). *)
+    Test.make ~name:"fig4_5/balance_round_gaussian"
+      (Staged.stage (fun () -> ignore (Controller.run (fresh_scenario ()))));
+    Test.make ~name:"fig6/balance_round_pareto"
+      (Staged.stage (fun () ->
+           let config =
+             {
+               Scenario.default with
+               n_nodes = bench_nodes;
+               workload = Workload.default_pareto;
+               topology = { TS.ts5k_large with TS.mean_stub_size = 15 };
+             }
+           in
+           ignore (Controller.run (Scenario.build ~seed:123 config))));
+    (* Figs. 7-8: aware vs ignorant VSA. *)
+    Test.make ~name:"fig7/vsa_aware"
+      (Staged.stage (fun () ->
+           let s = fresh_scenario () in
+           let cc = { Controller.default with Controller.proximity = true } in
+           ignore (Controller.run ~config:cc s)));
+    Test.make ~name:"fig7/vsa_ignorant"
+      (Staged.stage (fun () ->
+           let s = fresh_scenario () in
+           let cc = { Controller.default with Controller.proximity = false } in
+           ignore (Controller.run ~config:cc s)));
+    (* Ablation kernels. *)
+    Test.make ~name:"kernel/pairing_500x500"
+      (Staged.stage (fun () ->
+           ignore (Pairing.pair ~l_min:0.001 (Lazy.force pairing_fixture))));
+    Test.make ~name:"kernel/hilbert_encode_15d"
+      (Staged.stage (fun () ->
+           Array.iter
+             (fun c -> ignore (Hilbert.encode ~dims:15 ~order:2 c))
+             coords15));
+    Test.make ~name:"kernel/chord_lookup"
+      (Staged.stage
+         (let s = Lazy.force fixture in
+          let dht = s.Scenario.dht in
+          let rng = Prng.create ~seed:7 in
+          fun () ->
+            let from = (Dht.owner_of_key dht (Prng.int rng 1000000)).Dht.vs_id in
+            ignore
+              (Dht.lookup dht ~from ~key:(Prng.int rng P2plb_idspace.Id.space_size))));
+    Test.make ~name:"kernel/dijkstra_ts5k"
+      (Staged.stage
+         (let s = Lazy.force fixture in
+          let g = s.Scenario.topo.TS.graph in
+          fun () -> ignore (Graph.dijkstra g ~src:0)));
+  ]
+
+let run_bechamel () =
+  section "Bechamel micro-benchmarks (ns/run)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"p2plb" (List.rev tests))
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let est =
+        match Analyze.OLS.estimates ols_result with
+        | Some (t :: _) -> t
+        | _ -> nan
+      in
+      rows := (name, est) :: !rows)
+    results;
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) !rows in
+  List.iter
+    (fun (name, ns) ->
+      if Float.is_nan ns then Printf.printf "%-36s (no estimate)\n" name
+      else if ns > 1e9 then Printf.printf "%-36s %8.2f s/run\n" name (ns /. 1e9)
+      else if ns > 1e6 then Printf.printf "%-36s %8.2f ms/run\n" name (ns /. 1e6)
+      else if ns > 1e3 then Printf.printf "%-36s %8.2f us/run\n" name (ns /. 1e3)
+      else Printf.printf "%-36s %8.2f ns/run\n" name ns)
+    sorted
+
+let () =
+  let skip_figures = Array.exists (( = ) "--bench-only") Sys.argv in
+  let skip_bench = Array.exists (( = ) "--figures-only") Sys.argv in
+  Printf.printf
+    "p2plb bench harness — nodes=%d graphs=%d seed=%d (override with \
+     P2PLB_NODES / P2PLB_GRAPHS / P2PLB_SEED)\n"
+    n_nodes graphs seed;
+  if not skip_figures then figures ();
+  if not skip_bench then run_bechamel ()

@@ -1,0 +1,1 @@
+examples/churn_recovery.ml: P2plb P2plb_chord P2plb_ktree P2plb_sim P2plb_topology Printf

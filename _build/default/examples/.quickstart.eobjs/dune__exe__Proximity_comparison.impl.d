@@ -1,0 +1,1 @@
+examples/proximity_comparison.ml: List P2plb P2plb_metrics P2plb_topology Printf

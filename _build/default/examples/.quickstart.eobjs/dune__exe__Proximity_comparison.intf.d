@@ -1,0 +1,1 @@
+examples/proximity_comparison.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: P2plb P2plb_chord P2plb_metrics P2plb_topology Printf

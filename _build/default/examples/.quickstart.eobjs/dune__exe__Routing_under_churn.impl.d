@@ -1,0 +1,1 @@
+examples/routing_under_churn.ml: Array List P2plb_chord P2plb_idspace P2plb_pastry P2plb_prng Printf

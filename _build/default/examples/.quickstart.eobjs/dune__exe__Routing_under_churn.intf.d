@@ -1,0 +1,1 @@
+examples/routing_under_churn.mli:

@@ -1,0 +1,1 @@
+examples/storage_cluster.ml: Array List P2plb P2plb_chord P2plb_idspace P2plb_metrics P2plb_prng P2plb_topology P2plb_workload Printf

@@ -1,0 +1,72 @@
+(* Membership churn: nodes crash and join while the K-nary tree's
+   periodic soft-state maintenance (driven by the discrete-event
+   engine) keeps the aggregation infrastructure consistent, and
+   periodic load-balancing rounds keep the load aligned with capacity.
+
+   Run with: dune exec examples/churn_recovery.exe *)
+
+module Engine = P2plb_sim.Engine
+module Dht = P2plb_chord.Dht
+module Ktree = P2plb_ktree.Ktree
+module TS = P2plb_topology.Transit_stub
+module Scenario = P2plb.Scenario
+module Controller = P2plb.Controller
+
+let () =
+  let config =
+    {
+      Scenario.default with
+      n_nodes = 384;
+      topology = { TS.ts5k_large with TS.mean_stub_size = 12 };
+    }
+  in
+  let s = Scenario.build ~seed:31 config in
+  let dht = s.Scenario.dht in
+  let tree = Ktree.build ~k:2 dht in
+
+  let engine = Engine.create () in
+  let crashes = ref 0 and joins = ref 0 and repairs = ref 0 in
+
+  (* Churn: every 5 time units, ~2% of nodes crash and as many join. *)
+  ignore
+    (Engine.schedule_periodic engine ~interval:5.0 (fun _ ->
+         let batch = max 1 (Dht.n_nodes dht / 50) in
+         Scenario.crash_nodes s batch;
+         Scenario.join_nodes s batch;
+         crashes := !crashes + batch;
+         joins := !joins + batch));
+
+  (* Soft-state maintenance: the KT tree re-checks its planting every
+     2 time units (paper §3.1: periodic grow/prune). *)
+  ignore
+    (Engine.schedule_periodic engine ~interval:2.0 ~phase:1.0 (fun _ ->
+         Ktree.refresh tree dht;
+         incr repairs));
+
+  (* A load-balancing round every 20 time units. *)
+  ignore
+    (Engine.schedule_periodic engine ~interval:20.0 ~phase:10.0 (fun e ->
+         let o = Controller.run s in
+         let hb, _, _ = o.Controller.census_before in
+         let ha, _, _ = o.Controller.census_after in
+         Printf.printf
+           "t=%5.1f  LB round: heavy %4d -> %4d  (moved %4.1f%% of load, %d \
+            transfers)\n"
+           (Engine.now e) hb ha
+           (100.0 *. Controller.moved_fraction o)
+           o.Controller.vst.P2plb.Vst.transfers));
+
+  Engine.run_until engine ~time:100.0;
+  (* The last churn batch may post-date the last maintenance tick; the
+     next periodic pass is what repairs it, so run it before checking. *)
+  Ktree.refresh tree dht;
+  incr repairs;
+
+  Printf.printf
+    "\nafter 100 time units: %d crashes, %d joins, %d maintenance passes\n"
+    !crashes !joins !repairs;
+  (match Ktree.check_consistent tree dht with
+  | Ok () -> print_endline "KT tree structurally consistent: yes"
+  | Error e -> Printf.printf "KT tree inconsistent: %s\n" e);
+  Printf.printf "alive nodes: %d, virtual servers: %d\n" (Dht.n_nodes dht)
+    (Dht.n_vs dht)

@@ -1,0 +1,116 @@
+(* A cooperative storage network (the CFS-style workload that motivated
+   virtual servers): files with Zipf popularity are published into a
+   replicated object store over the DHT; each virtual server's load is
+   the bytes it primarily stores.  After balancing, high-capacity nodes
+   hold most of the bytes — and when a fifth of the network crashes,
+   replication keeps the files available while the repair pass
+   re-replicates onto the survivors.
+
+   Run with: dune exec examples/storage_cluster.exe *)
+
+module Prng = P2plb_prng.Prng
+module Dist = P2plb_prng.Dist
+module Id = P2plb_idspace.Id
+module Dht = P2plb_chord.Dht
+module Store = P2plb_chord.Store
+module TS = P2plb_topology.Transit_stub
+module W = P2plb_workload.Workload
+module Scenario = P2plb.Scenario
+module Controller = P2plb.Controller
+module Report = P2plb_metrics.Report
+
+let n_files = 20_000
+
+let () =
+  let config =
+    {
+      Scenario.default with
+      n_nodes = 384;
+      topology = { TS.ts5k_large with TS.mean_stub_size = 12 };
+    }
+  in
+  let s = Scenario.build ~seed:7 config in
+  let dht = s.Scenario.dht in
+  let rng = Prng.create ~seed:99 in
+
+  (* Publish files into a 3-way replicated store.  Sizes are
+     exponential, scaled by Zipf popularity so the "load" a file
+     imposes reflects how often it is served. *)
+  let store = Store.create ~replication:3 () in
+  for file = 0 to n_files - 1 do
+    let key = Id.hash_key file "file" in
+    let size_mb = Dist.exponential rng ~mean:4.0 in
+    let rank = Dist.zipf rng ~n:1000 ~s:0.9 in
+    let served_load = size_mb /. float_of_int rank in
+    Store.insert store dht ~key ~size:served_load
+  done;
+  Store.apply_primary_loads store dht;
+
+  Printf.printf "published %d files (%.0f load units), replication x%d\n"
+    (Store.n_objects store) (Store.total_bytes store)
+    (Store.replication store);
+
+  let category_table label =
+    let cats = Array.length W.capacity_levels in
+    let sums = Array.make cats 0.0 and counts = Array.make cats 0 in
+    List.iter
+      (fun n ->
+        let i = W.capacity_category n.Dht.capacity in
+        sums.(i) <- sums.(i) +. Dht.node_load n;
+        counts.(i) <- counts.(i) + 1)
+      (Dht.alive_nodes dht);
+    let total = Array.fold_left ( +. ) 0.0 sums in
+    let rows =
+      List.filter_map
+        (fun i ->
+          if counts.(i) = 0 then None
+          else
+            Some
+              [
+                Report.float_cell W.capacity_levels.(i);
+                string_of_int counts.(i);
+                Report.percent_cell (sums.(i) /. total);
+              ])
+        (List.init cats (fun i -> i))
+    in
+    print_string
+      (Report.table ~title:label ~header:[ "capacity"; "nodes"; "load share" ]
+         rows);
+    print_newline ()
+  in
+
+  category_table "served load by node capacity BEFORE balancing";
+
+  (* Iterate LB rounds until the network settles (storage moves are
+     expensive, so count what we paid). *)
+  let total_moved = ref 0.0 in
+  let rounds = ref 0 in
+  let continue = ref true in
+  while !continue && !rounds < 5 do
+    incr rounds;
+    let o = Controller.run s in
+    total_moved := !total_moved +. o.Controller.vst.P2plb.Vst.moved_load;
+    let ha, _, _ = o.Controller.census_after in
+    if ha = 0 || o.Controller.vst.P2plb.Vst.transfers = 0 then continue := false
+  done;
+
+  category_table "served load by node capacity AFTER balancing";
+  Printf.printf
+    "balanced in %d round(s); migrated %.0f load units (%.1f%% of the \
+     catalogue)\n\n"
+    !rounds !total_moved
+    (100.0 *. !total_moved /. Dht.total_load dht);
+
+  (* Now a fifth of the cluster fails at once. *)
+  let crashed = Dht.n_nodes dht / 5 in
+  Scenario.crash_nodes s crashed;
+  Printf.printf "crash: %d nodes fail simultaneously\n" crashed;
+  Printf.printf "availability before repair: %.2f%% of files\n"
+    (100.0 *. Store.availability store dht);
+  let stats = Store.repair store dht in
+  Printf.printf
+    "repair: %d files re-replicated (%.0f units copied), %d lost (%.2f%%)\n"
+    stats.Store.re_replicated stats.Store.bytes_copied stats.Store.lost
+    (100.0 *. float_of_int stats.Store.lost /. float_of_int n_files);
+  Printf.printf "availability after repair: %.2f%%\n"
+    (100.0 *. Store.availability store dht)

@@ -1,0 +1,1 @@
+lib/chord/dht.ml: Array Hashtbl Int List P2plb_idspace P2plb_prng Ring_map

@@ -1,0 +1,1 @@
+lib/chord/dht.mli: P2plb_idspace P2plb_prng

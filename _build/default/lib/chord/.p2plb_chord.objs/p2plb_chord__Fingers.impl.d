@@ -1,0 +1,1 @@
+lib/chord/fingers.ml: Array Dht Hashtbl List P2plb_idspace P2plb_prng

@@ -1,0 +1,1 @@
+lib/chord/fingers.mli: Dht P2plb_idspace P2plb_prng

@@ -1,0 +1,1 @@
+lib/chord/ring_map.ml: Int Map P2plb_idspace Seq

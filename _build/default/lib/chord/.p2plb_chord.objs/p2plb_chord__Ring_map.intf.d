@@ -1,0 +1,1 @@
+lib/chord/ring_map.mli: P2plb_idspace

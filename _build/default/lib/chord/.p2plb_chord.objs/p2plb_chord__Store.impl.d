@@ -1,0 +1,1 @@
+lib/chord/store.ml: Dht List P2plb_idspace Ring_map

@@ -1,0 +1,1 @@
+lib/chord/store.mli: Dht P2plb_idspace

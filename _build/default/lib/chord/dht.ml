@@ -1,0 +1,288 @@
+module Id = P2plb_idspace.Id
+module Region = P2plb_idspace.Region
+module Prng = P2plb_prng.Prng
+
+type node_id = int
+
+type vs = {
+  vs_id : Id.t;
+  mutable owner : node_id;
+  mutable load : float;
+}
+
+type node = {
+  node_id : node_id;
+  underlay : int;
+  capacity : float;
+  mutable alive : bool;
+  mutable vss : vs list;
+}
+
+type 'a t = {
+  rng : Prng.t;
+  mutable ring : vs Ring_map.t;
+  nodes : (node_id, node) Hashtbl.t;
+  mutable items : 'a list Ring_map.t;
+  mutable next_node_id : int;
+  mutable lookup_count : int;
+  mutable hop_count : int;
+}
+
+let create ~seed =
+  {
+    rng = Prng.create ~seed;
+    ring = Ring_map.empty;
+    nodes = Hashtbl.create 4096;
+    items = Ring_map.empty;
+    next_node_id = 0;
+    lookup_count = 0;
+    hop_count = 0;
+  }
+
+let node t id =
+  match Hashtbl.find_opt t.nodes id with
+  | Some n -> n
+  | None -> raise Not_found
+
+let is_alive t id =
+  match Hashtbl.find_opt t.nodes id with Some n -> n.alive | None -> false
+
+let n_nodes t =
+  Hashtbl.fold (fun _ n acc -> if n.alive then acc + 1 else acc) t.nodes 0
+
+let n_vs t = Ring_map.cardinal t.ring
+
+let alive_nodes t =
+  let all = Hashtbl.fold (fun _ n acc -> if n.alive then n :: acc else acc) t.nodes [] in
+  List.sort (fun a b -> Int.compare a.node_id b.node_id) all
+
+let fold_nodes t ~init ~f = List.fold_left f init (alive_nodes t)
+
+let fold_vs t ~init ~f =
+  Ring_map.fold (fun _ v acc -> f acc v) t.ring init
+
+let vs_of_id t id = Ring_map.find_opt id t.ring
+
+let predecessor_id t id =
+  match Ring_map.predecessor_strict id t.ring with
+  | Some (p, _) -> p
+  | None -> id (* single VS: whole ring *)
+
+let region_of_vs t v =
+  let pred = predecessor_id t v.vs_id in
+  if pred = v.vs_id then Region.whole
+  else Region.between_excl_incl ~lo:pred ~hi:v.vs_id
+
+let owner_of_key t k =
+  match Ring_map.successor k t.ring with
+  | Some (_, v) -> v
+  | None -> invalid_arg "Dht.owner_of_key: empty ring"
+
+let set_vs_load _t v load =
+  if load < 0.0 then invalid_arg "Dht.set_vs_load: negative load";
+  v.load <- load
+
+let add_vs_load _t v delta =
+  let nl = v.load +. delta in
+  if nl < -1e-9 then invalid_arg "Dht.add_vs_load: load underflow";
+  v.load <- max 0.0 nl
+
+let node_load n = List.fold_left (fun acc v -> acc +. v.load) 0.0 n.vss
+
+let node_unit_load n =
+  if n.capacity <= 0.0 then invalid_arg "Dht.node_unit_load: capacity <= 0";
+  node_load n /. n.capacity
+
+let total_load t = fold_vs t ~init:0.0 ~f:(fun acc v -> acc +. v.load)
+
+let total_capacity t =
+  fold_nodes t ~init:0.0 ~f:(fun acc n -> acc +. n.capacity)
+
+let random_vs_of_node _t rng n =
+  match n.vss with
+  | [] -> invalid_arg "Dht.random_vs_of_node: node hosts no VS"
+  | vss -> Prng.choose rng (Array.of_list vss)
+
+let report_vs t rng n =
+  match n.vss with
+  | [] -> owner_of_key t (Id.hash_key n.node_id "home")
+  | _ :: _ -> random_vs_of_node t rng n
+
+(* Fresh pseudo-random VS identifier, avoiding collisions. *)
+let fresh_vs_id t ~node_id ~index =
+  let rec go salt =
+    let id =
+      Id.hash_key ((node_id * 131) + index + (salt * 1_000_003)) "vs"
+    in
+    if Ring_map.mem id t.ring then go (salt + 1) else id
+  in
+  go 0
+
+(* Insert a VS into the ring, stealing the matching share of the load
+   of the VS that previously covered its region. *)
+let insert_vs t v =
+  (match Ring_map.successor_strict v.vs_id t.ring with
+  | Some (_, succ) when succ.vs_id <> v.vs_id ->
+    let old_region = region_of_vs t succ in
+    let old_len = Region.len old_region in
+    if old_len > 0 then begin
+      let pred = predecessor_id t succ.vs_id in
+      let stolen_len =
+        if pred = succ.vs_id then
+          (* succ owned the whole ring; new vs takes all but succ's arc *)
+          Id.distance_cw succ.vs_id v.vs_id
+        else Id.distance_cw pred v.vs_id
+      in
+      let frac = float_of_int stolen_len /. float_of_int old_len in
+      let moved = succ.load *. frac in
+      succ.load <- succ.load -. moved;
+      v.load <- v.load +. moved
+    end
+  | _ -> ());
+  t.ring <- Ring_map.add v.vs_id v t.ring
+
+let join t ~capacity ~underlay ~n_vs =
+  if capacity <= 0.0 then invalid_arg "Dht.join: capacity <= 0";
+  if n_vs < 1 then invalid_arg "Dht.join: n_vs < 1";
+  let node_id = t.next_node_id in
+  t.next_node_id <- node_id + 1;
+  let n = { node_id; underlay; capacity; alive = true; vss = [] } in
+  Hashtbl.add t.nodes node_id n;
+  for index = 0 to n_vs - 1 do
+    let vs_id = fresh_vs_id t ~node_id ~index in
+    let v = { vs_id; owner = node_id; load = 0.0 } in
+    insert_vs t v;
+    n.vss <- v :: n.vss
+  done;
+  node_id
+
+(* Remove a VS from the ring; successor absorbs region and load. *)
+let delete_vs_absorb t v =
+  if Ring_map.cardinal t.ring <= 1 then
+    invalid_arg "Dht.remove_vs: cannot remove the last VS";
+  t.ring <- Ring_map.remove v.vs_id t.ring;
+  (match Ring_map.successor v.vs_id t.ring with
+  | Some (_, succ) -> succ.load <- succ.load +. v.load
+  | None -> assert false);
+  let owner = node t v.owner in
+  owner.vss <- List.filter (fun x -> x.vs_id <> v.vs_id) owner.vss
+
+let depart t id =
+  let n = node t id in
+  if n.alive then begin
+    List.iter (fun v -> delete_vs_absorb t v) n.vss;
+    n.vss <- [];
+    n.alive <- false
+  end
+
+let leave = depart
+let crash = depart
+
+let remove_vs t ~vs_id =
+  match vs_of_id t vs_id with
+  | None -> invalid_arg "Dht.remove_vs: no such VS"
+  | Some v -> delete_vs_absorb t v
+
+let transfer_vs t ~vs_id ~to_node =
+  match vs_of_id t vs_id with
+  | None -> invalid_arg "Dht.transfer_vs: no such VS"
+  | Some v ->
+    let dst = node t to_node in
+    if not dst.alive then invalid_arg "Dht.transfer_vs: dead target";
+    if v.owner <> to_node then begin
+      let src = node t v.owner in
+      src.vss <- List.filter (fun x -> x.vs_id <> vs_id) src.vss;
+      dst.vss <- v :: dst.vss;
+      v.owner <- to_node
+    end
+
+(* --- Routing ---------------------------------------------------------- *)
+
+(* Greedy Chord routing evaluated against the current ring: from VS
+   [cur], the closest preceding finger of [key] is the largest
+   successor(cur + 2^k) lying strictly inside (cur, key). *)
+let closest_preceding_finger t ~cur ~key =
+  let best = ref None in
+  let k = ref (Id.bits - 1) in
+  while !best = None && !k >= 0 do
+    let target = Id.add cur (1 lsl !k) in
+    (match Ring_map.successor target t.ring with
+    | Some (fid, _) when Id.in_range_excl_excl fid ~lo:cur ~hi:key ->
+      best := Some fid
+    | _ -> ());
+    decr k
+  done;
+  !best
+
+let lookup t ~from ~key =
+  if Ring_map.is_empty t.ring then invalid_arg "Dht.lookup: empty ring";
+  if not (Ring_map.mem from t.ring) then
+    invalid_arg "Dht.lookup: unknown source VS";
+  t.lookup_count <- t.lookup_count + 1;
+  let pred_from = predecessor_id t from in
+  if Id.in_range_excl_incl key ~lo:pred_from ~hi:from
+     && (pred_from <> from || key = from)
+  then ((match vs_of_id t from with Some v -> v | None -> assert false), 0)
+  else if pred_from = from then
+    (* single VS owns everything *)
+    ((match vs_of_id t from with Some v -> v | None -> assert false), 0)
+  else begin
+    let hops = ref 0 in
+    let cur = ref from in
+    let result = ref None in
+    while !result = None do
+      let succ_id =
+        match Ring_map.successor_strict !cur t.ring with
+        | Some (sid, _) -> sid
+        | None -> assert false
+      in
+      if Id.in_range_excl_incl key ~lo:!cur ~hi:succ_id then begin
+        incr hops;
+        result := vs_of_id t succ_id
+      end
+      else begin
+        match closest_preceding_finger t ~cur:!cur ~key with
+        | Some next ->
+          incr hops;
+          cur := next
+        | None ->
+          (* No finger strictly precedes the key: hand to successor. *)
+          incr hops;
+          cur := succ_id
+      end
+    done;
+    t.hop_count <- t.hop_count + !hops;
+    ((match !result with Some v -> v | None -> assert false), !hops)
+  end
+
+let put t ~from ~key payload =
+  let _, hops = lookup t ~from ~key in
+  let existing =
+    match Ring_map.find_opt key t.items with Some l -> l | None -> []
+  in
+  t.items <- Ring_map.add key (payload :: existing) t.items;
+  hops
+
+let get t ~from ~key =
+  let _, hops = lookup t ~from ~key in
+  let payloads =
+    match Ring_map.find_opt key t.items with Some l -> l | None -> []
+  in
+  (payloads, hops)
+
+let items_in_region t region =
+  if Region.is_empty region then []
+  else
+    Ring_map.fold_range ~lo_incl:(Region.start region) ~len:(Region.len region)
+      (fun k payloads acc ->
+        List.fold_left (fun acc p -> (k, p) :: acc) acc payloads)
+      t.items []
+
+let clear_items t = t.items <- Ring_map.empty
+
+let lookups_performed t = t.lookup_count
+let hops_used t = t.hop_count
+
+let reset_counters t =
+  t.lookup_count <- 0;
+  t.hop_count <- 0

@@ -1,0 +1,145 @@
+module Id = P2plb_idspace.Id
+module Prng = P2plb_prng.Prng
+
+type table = {
+  mutable succ : Id.t;
+  fingers : Id.t array; (* Id.bits entries *)
+  mutable next_fix : int;
+}
+
+type t = { tables : (Id.t, table) Hashtbl.t }
+
+let finger_start vs k = Id.add vs (1 lsl k)
+
+let true_successor dht vs = (Dht.owner_of_key dht (Id.add vs 1)).Dht.vs_id
+let true_finger dht vs k = (Dht.owner_of_key dht (finger_start vs k)).Dht.vs_id
+
+let fresh_table dht vs =
+  {
+    succ = true_successor dht vs;
+    fingers = Array.init Id.bits (fun k -> true_finger dht vs k);
+    next_fix = 0;
+  }
+
+let create dht =
+  let tables = Hashtbl.create 4096 in
+  Dht.fold_vs dht ~init:() ~f:(fun () v ->
+      Hashtbl.replace tables v.Dht.vs_id (fresh_table dht v.Dht.vs_id));
+  { tables }
+
+let vs_count t = Hashtbl.length t.tables
+
+let staleness t dht =
+  Hashtbl.fold
+    (fun vs table acc ->
+      let acc = if table.succ <> true_successor dht vs then acc + 1 else acc in
+      let stale_fingers = ref 0 in
+      Array.iteri
+        (fun k f -> if f <> true_finger dht vs k then incr stale_fingers)
+        table.fingers;
+      acc + !stale_fingers)
+    t.tables 0
+
+let stabilize_round ?(fingers_per_round = 4) t dht =
+  if fingers_per_round < 1 then
+    invalid_arg "Fingers.stabilize_round: fingers_per_round < 1";
+  let repaired = ref 0 in
+  (* Drop tables of departed VSs. *)
+  let dead =
+    Hashtbl.fold
+      (fun vs _ acc -> if Dht.vs_of_id dht vs = None then vs :: acc else acc)
+      t.tables []
+  in
+  List.iter (Hashtbl.remove t.tables) dead;
+  (* Every live VS stabilises. *)
+  Dht.fold_vs dht ~init:() ~f:(fun () v ->
+      let vs = v.Dht.vs_id in
+      let table =
+        match Hashtbl.find_opt t.tables vs with
+        | Some table -> table
+        | None ->
+          (* A newly joined VS knows only its successor; fingers start
+             out pointing at it and are fixed incrementally. *)
+          let succ = true_successor dht vs in
+          let table =
+            { succ; fingers = Array.make Id.bits succ; next_fix = 0 }
+          in
+          Hashtbl.replace t.tables vs table;
+          repaired := !repaired + 1;
+          table
+      in
+      let s = true_successor dht vs in
+      if table.succ <> s then begin
+        table.succ <- s;
+        incr repaired
+      end;
+      for _ = 1 to fingers_per_round do
+        let k = table.next_fix in
+        table.next_fix <- (table.next_fix + 1) mod Id.bits;
+        let f = true_finger dht vs k in
+        if table.fingers.(k) <> f then begin
+          table.fingers.(k) <- f;
+          incr repaired
+        end
+      done);
+  !repaired
+
+let alive dht vs = Dht.vs_of_id dht vs <> None
+
+let lookup t dht ~from ~key =
+  let max_hops = 4 * Id.bits in
+  let rec step cur hops =
+    if hops > max_hops then None
+    else
+      match Hashtbl.find_opt t.tables cur with
+      | None -> None (* routed onto a VS we have no state for *)
+      | Some table ->
+        if Id.in_range_excl_incl key ~lo:cur ~hi:table.succ then
+          if alive dht table.succ then Some (table.succ, hops + 1) else None
+        else begin
+          (* closest preceding *alive* finger of [key] *)
+          let best = ref None in
+          let k = ref (Id.bits - 1) in
+          while !best = None && !k >= 0 do
+            let f = table.fingers.(!k) in
+            if
+              Id.in_range_excl_excl f ~lo:cur ~hi:key
+              && alive dht f
+              && Hashtbl.mem t.tables f
+            then best := Some f;
+            decr k
+          done;
+          match !best with
+          | Some next -> step next (hops + 1)
+          | None ->
+            if alive dht table.succ && Hashtbl.mem t.tables table.succ then
+              if table.succ = cur then None else step table.succ (hops + 1)
+            else None
+        end
+  in
+  if not (Hashtbl.mem t.tables from) then None
+  else if Hashtbl.length t.tables = 1 then Some (from, 0)
+  else step from 0
+
+let correct_lookup_fraction t dht ~rng ~samples =
+  if samples < 1 then invalid_arg "Fingers.correct_lookup_fraction";
+  let sources =
+    Hashtbl.fold
+      (fun vs _ acc -> if alive dht vs then vs :: acc else acc)
+      t.tables []
+  in
+  match sources with
+  | [] -> 0.0
+  | _ :: _ ->
+    let sources = Array.of_list sources in
+    let correct = ref 0 in
+    for _ = 1 to samples do
+      let from = Prng.choose rng sources in
+      let key = Prng.int rng Id.space_size in
+      match lookup t dht ~from ~key with
+      | Some (reached, _)
+        when reached = (Dht.owner_of_key dht key).Dht.vs_id ->
+        incr correct
+      | Some _ | None -> ()
+    done;
+    float_of_int !correct /. float_of_int samples

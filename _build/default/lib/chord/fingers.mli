@@ -1,0 +1,50 @@
+module Id = P2plb_idspace.Id
+
+(** Explicit Chord finger tables with stabilisation.
+
+    {!Dht.lookup} routes against the {e current} ring (equivalent to
+    instantly-repaired finger tables).  This module models the real
+    protocol state instead: each virtual server keeps a finger table
+    ([finger.(k) = successor(vs + 2^k)]) and a successor pointer that
+    go {b stale} under churn and are repaired incrementally by
+    periodic stabilisation, as in the Chord paper.  Lookups route via
+    the stored fingers — possibly taking extra hops, or failing onto
+    dead pointers — which quantifies the staleness cost the soft-state
+    design pays between repair rounds.
+
+    Used by the churn experiments and by tests of the self-repair
+    claims (§3.1.1). *)
+
+type t
+
+val create : 'a Dht.t -> t
+(** Builds fresh (correct) finger tables for every current VS.
+    One table per VS, [Id.bits] entries each. *)
+
+val vs_count : t -> int
+
+val staleness : t -> 'a Dht.t -> int
+(** Number of finger/successor entries across all tables that are
+    wrong w.r.t. the current ring (dead VS or no longer the true
+    successor of the finger start). *)
+
+val stabilize_round : ?fingers_per_round:int -> t -> 'a Dht.t -> int
+(** One stabilisation round: every VS re-resolves its successor
+    pointer and refreshes [fingers_per_round] (default 4) finger
+    entries, round-robin — the standard [fix_fingers] schedule.
+    New VSs get tables; tables of departed VSs are dropped.
+    Returns the number of entries repaired. *)
+
+val lookup : t -> 'a Dht.t -> from:Id.t -> key:Id.t -> (Id.t * int) option
+(** Routes from VS [from] to the owner of [key] using only stored
+    state: greedy closest-preceding-finger, skipping dead pointers,
+    falling back to the successor pointer.  Returns the reached VS id
+    and the hop count, or [None] if routing failed (all pointers dead
+    or a cycle was detected) — the caller would retry after the next
+    stabilisation.  The reached VS can be {b wrong} (stale tables);
+    compare against [Dht.owner_of_key] to measure inconsistency. *)
+
+val correct_lookup_fraction :
+  t -> 'a Dht.t -> rng:P2plb_prng.Prng.t -> samples:int -> float
+(** Fraction of random lookups that terminate at the true owner —
+    the consistency metric reported by the churn experiments. *)

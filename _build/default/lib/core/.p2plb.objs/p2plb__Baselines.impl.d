@@ -1,0 +1,1 @@
+lib/core/baselines.ml: Array Classify Excess Float List P2plb_chord P2plb_idspace P2plb_metrics P2plb_prng P2plb_topology Pairing Types

@@ -1,0 +1,1 @@
+lib/core/baselines.mli: P2plb_chord P2plb_metrics P2plb_prng P2plb_topology

@@ -1,0 +1,1 @@
+lib/core/classify.ml: P2plb_chord Types

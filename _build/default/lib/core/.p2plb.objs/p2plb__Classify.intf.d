@@ -1,0 +1,1 @@
+lib/core/classify.mli: P2plb_chord Types

@@ -1,0 +1,1 @@
+lib/core/controller.mli: P2plb_chord P2plb_hilbert P2plb_ktree P2plb_landmark P2plb_metrics Scenario Types Vsa Vst

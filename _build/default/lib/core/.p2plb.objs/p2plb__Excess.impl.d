@@ -1,0 +1,1 @@
+lib/core/excess.ml: Array List Option P2plb_idspace

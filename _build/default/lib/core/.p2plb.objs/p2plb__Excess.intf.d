@@ -1,0 +1,1 @@
+lib/core/excess.mli: P2plb_idspace

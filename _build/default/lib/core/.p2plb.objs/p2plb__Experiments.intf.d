@@ -1,0 +1,1 @@
+lib/core/experiments.mli: P2plb_metrics P2plb_topology P2plb_workload

@@ -1,0 +1,1 @@
+lib/core/invariants.ml: Float List P2plb_chord P2plb_idspace P2plb_ktree Printf

@@ -1,0 +1,1 @@
+lib/core/invariants.mli: P2plb_chord P2plb_ktree

@@ -1,0 +1,1 @@
+lib/core/lbi.mli: P2plb_chord P2plb_ktree P2plb_prng Types

@@ -1,0 +1,1 @@
+lib/core/multiround.ml: Controller Format List Vst

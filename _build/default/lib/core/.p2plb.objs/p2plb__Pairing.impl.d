@@ -1,0 +1,1 @@
+lib/core/pairing.ml: Int List Set Types

@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Array List P2plb_chord P2plb_landmark P2plb_prng P2plb_topology P2plb_workload Types

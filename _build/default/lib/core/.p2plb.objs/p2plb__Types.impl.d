@@ -1,0 +1,1 @@
+lib/core/types.ml: Float Format P2plb_idspace

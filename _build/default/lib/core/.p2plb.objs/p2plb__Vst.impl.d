@@ -1,0 +1,1 @@
+lib/core/vst.ml: Hashtbl List P2plb_chord P2plb_idspace P2plb_ktree P2plb_metrics P2plb_topology Types

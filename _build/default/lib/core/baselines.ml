@@ -1,0 +1,299 @@
+module Prng = P2plb_prng.Prng
+module Dht = P2plb_chord.Dht
+module Graph = P2plb_topology.Graph
+module Histogram = P2plb_metrics.Histogram
+
+type result = {
+  hist : Histogram.t;
+  moved_load : float;
+  transfers : int;
+  heavy_before : int;
+  heavy_after : int;
+  rounds : int;
+}
+
+(* Baselines have no aggregation tree: they are granted the global
+   <L, C, L_min> directly (a strictly optimistic assumption in their
+   favour). *)
+let global_lbi dht : Types.lbi =
+  let l = Dht.total_load dht and c = Dht.total_capacity dht in
+  let l_min =
+    Dht.fold_vs dht ~init:infinity ~f:(fun acc v -> Float.min acc v.Dht.load)
+  in
+  { l; c; l_min }
+
+let absolute_epsilon ~epsilon_rel (lbi : Types.lbi) =
+  epsilon_rel *. lbi.l /. lbi.c
+
+let heavy_nodes ~lbi ~epsilon dht =
+  List.filter
+    (fun n -> Classify.classify_node ~lbi ~epsilon dht n = Types.Heavy)
+    (Dht.alive_nodes dht)
+
+let count_heavy ~lbi ~epsilon dht = List.length (heavy_nodes ~lbi ~epsilon dht)
+
+type acc = {
+  h : Histogram.t;
+  mutable moved : float;
+  mutable n_transfers : int;
+}
+
+let new_acc () = { h = Histogram.create (); moved = 0.0; n_transfers = 0 }
+
+let record_move acc ~oracle ~src_underlay ~dst_underlay ~load =
+  let hops =
+    Graph.Oracle.distance oracle ~src:src_underlay ~dst:dst_underlay
+  in
+  Histogram.add acc.h ~bin:hops ~weight:load;
+  acc.moved <- acc.moved +. load;
+  acc.n_transfers <- acc.n_transfers + 1
+
+let transfer acc ~oracle dht ~vs_id ~from_node ~to_node ~load =
+  let src = Dht.node dht from_node and dst = Dht.node dht to_node in
+  Dht.transfer_vs dht ~vs_id ~to_node;
+  record_move acc ~oracle ~src_underlay:src.Dht.underlay
+    ~dst_underlay:dst.Dht.underlay ~load
+
+(* ---- CFS-style shedding ---------------------------------------------- *)
+
+let cfs_shed ?(epsilon_rel = 0.05) ?(max_rounds = 50) ~rng ~oracle dht =
+  ignore rng;
+  let lbi = global_lbi dht in
+  let epsilon = absolute_epsilon ~epsilon_rel lbi in
+  let heavy_before = count_heavy ~lbi ~epsilon dht in
+  let acc = new_acc () in
+  let rounds = ref 0 in
+  let continue = ref true in
+  while !continue && !rounds < max_rounds do
+    incr rounds;
+    let heavies = heavy_nodes ~lbi ~epsilon dht in
+    if heavies = [] then continue := false
+    else begin
+      let shed_something = ref false in
+      List.iter
+        (fun n ->
+          let target =
+            Classify.target_load ~lbi ~epsilon ~capacity:n.Dht.capacity
+          in
+          (* Remove lightest VSs first until below target (CFS keeps
+             the node in the ring: never sheds the last VS). *)
+          let continue_shedding = ref true in
+          while !continue_shedding do
+            let load = Dht.node_load n in
+            if load <= target then continue_shedding := false
+            else begin
+              match
+                List.sort (fun a b -> compare a.Dht.load b.Dht.load) n.Dht.vss
+              with
+              | [] | [ _ ] -> continue_shedding := false
+              | v :: _ ->
+                (* The successor VS's owner absorbs the region+load. *)
+                let vs_id = v.Dht.vs_id in
+                let vload = v.Dht.load in
+                let succ =
+                  match
+                    Dht.vs_of_id dht vs_id
+                  with
+                  | None -> None
+                  | Some _ ->
+                    let s =
+                      Dht.owner_of_key dht (P2plb_idspace.Id.add vs_id 1)
+                    in
+                    if s.Dht.vs_id = vs_id then None else Some s
+                in
+                (match succ with
+                | None -> continue_shedding := false
+                | Some s ->
+                  let dst = Dht.node dht s.Dht.owner in
+                  Dht.remove_vs dht ~vs_id;
+                  record_move acc ~oracle ~src_underlay:n.Dht.underlay
+                    ~dst_underlay:dst.Dht.underlay ~load:vload;
+                  shed_something := true)
+            end
+          done)
+        heavies;
+      if not !shed_something then continue := false
+    end
+  done;
+  {
+    hist = acc.h;
+    moved_load = acc.moved;
+    transfers = acc.n_transfers;
+    heavy_before;
+    heavy_after = count_heavy ~lbi ~epsilon dht;
+    rounds = !rounds;
+  }
+
+(* ---- Rao et al. ------------------------------------------------------- *)
+
+(* The heaviest VS of [n] whose load fits within [deficit]. *)
+let best_fitting_vs (n : Dht.node) ~deficit =
+  List.fold_left
+    (fun best v ->
+      if v.Dht.load <= deficit && v.Dht.load > 0.0 then
+        match best with
+        | Some b when b.Dht.load >= v.Dht.load -> best
+        | _ -> Some v
+      else best)
+    None n.Dht.vss
+
+let deficit_of ~lbi ~epsilon (n : Dht.node) =
+  Classify.target_load ~lbi ~epsilon ~capacity:n.Dht.capacity
+  -. Dht.node_load n
+
+let rao_one_to_one ?(epsilon_rel = 0.05) ?max_probes ~rng ~oracle dht =
+  let lbi = global_lbi dht in
+  let epsilon = absolute_epsilon ~epsilon_rel lbi in
+  let heavy_before = count_heavy ~lbi ~epsilon dht in
+  let nodes = Array.of_list (Dht.alive_nodes dht) in
+  let max_probes =
+    match max_probes with Some p -> p | None -> 64 * Array.length nodes
+  in
+  let acc = new_acc () in
+  let probes = ref 0 in
+  (* Light nodes probe random nodes; a hit moves one best-fitting VS. *)
+  while !probes < max_probes do
+    incr probes;
+    let light = Prng.choose rng nodes in
+    let peer = Prng.choose rng nodes in
+    if light.Dht.node_id <> peer.Dht.node_id then begin
+      let light_class = Classify.classify_node ~lbi ~epsilon dht light in
+      let peer_class = Classify.classify_node ~lbi ~epsilon dht peer in
+      if light_class = Types.Light && peer_class = Types.Heavy then begin
+        let deficit = deficit_of ~lbi ~epsilon light in
+        match best_fitting_vs peer ~deficit with
+        | Some v ->
+          transfer acc ~oracle dht ~vs_id:v.Dht.vs_id
+            ~from_node:peer.Dht.node_id ~to_node:light.Dht.node_id
+            ~load:v.Dht.load
+        | None -> ()
+      end
+    end
+  done;
+  {
+    hist = acc.h;
+    moved_load = acc.moved;
+    transfers = acc.n_transfers;
+    heavy_before;
+    heavy_after = count_heavy ~lbi ~epsilon dht;
+    rounds = !probes;
+  }
+
+let rao_one_to_many ?(epsilon_rel = 0.05) ?(directory_size = 16) ~rng ~oracle
+    dht =
+  let lbi = global_lbi dht in
+  let epsilon = absolute_epsilon ~epsilon_rel lbi in
+  let heavy_before = count_heavy ~lbi ~epsilon dht in
+  let acc = new_acc () in
+  let heavies = Array.of_list (heavy_nodes ~lbi ~epsilon dht) in
+  Prng.shuffle rng heavies;
+  let all = Array.of_list (Dht.alive_nodes dht) in
+  Array.iter
+    (fun h ->
+      let target =
+        Classify.target_load ~lbi ~epsilon ~capacity:h.Dht.capacity
+      in
+      let need = Dht.node_load h -. target in
+      if need > 0.0 then begin
+        let loads =
+          Array.of_list
+            (List.map (fun v -> (v.Dht.vs_id, v.Dht.load)) h.Dht.vss)
+        in
+        let shed = Excess.choose_shed ~keep_at_least:0 ~loads need in
+        (* A random directory of currently-light nodes. *)
+        let directory =
+          Array.to_list
+            (Array.init directory_size (fun _ -> Prng.choose rng all))
+          |> List.filter (fun n ->
+                 n.Dht.node_id <> h.Dht.node_id
+                 && Classify.classify_node ~lbi ~epsilon dht n = Types.Light)
+        in
+        let deficits =
+          List.map (fun n -> (n, ref (deficit_of ~lbi ~epsilon n))) directory
+        in
+        List.iter
+          (fun (vs_id, vload) ->
+            (* best fit: smallest sufficient deficit in the directory *)
+            let best =
+              List.fold_left
+                (fun best (n, d) ->
+                  if !d >= vload then
+                    match best with
+                    | Some (_, bd) when !bd <= !d -> best
+                    | _ -> Some (n, d)
+                  else best)
+                None deficits
+            in
+            match best with
+            | Some (n, d) ->
+              transfer acc ~oracle dht ~vs_id ~from_node:h.Dht.node_id
+                ~to_node:n.Dht.node_id ~load:vload;
+              d := !d -. vload
+            | None -> ())
+          shed
+      end)
+    heavies;
+  {
+    hist = acc.h;
+    moved_load = acc.moved;
+    transfers = acc.n_transfers;
+    heavy_before;
+    heavy_after = count_heavy ~lbi ~epsilon dht;
+    rounds = 1;
+  }
+
+let rao_many_to_many ?(epsilon_rel = 0.05) ~rng ~oracle dht =
+  ignore rng;
+  let lbi = global_lbi dht in
+  let epsilon = absolute_epsilon ~epsilon_rel lbi in
+  let heavy_before = count_heavy ~lbi ~epsilon dht in
+  (* One global pool: exactly the rendezvous pairing run at a single
+     point, proximity-blind. *)
+  let sheds, lights =
+    Dht.fold_nodes dht ~init:([], []) ~f:(fun (ss, ls) n ->
+        match Classify.classify_node ~lbi ~epsilon dht n with
+        | Types.Neutral -> (ss, ls)
+        | Types.Light ->
+          ( ss,
+            Types.
+              {
+                deficit = deficit_of ~lbi ~epsilon n;
+                light_node = n.Dht.node_id;
+              }
+            :: ls )
+        | Types.Heavy ->
+          let target =
+            Classify.target_load ~lbi ~epsilon ~capacity:n.Dht.capacity
+          in
+          let need = Dht.node_load n -. target in
+          let loads =
+            Array.of_list
+              (List.map (fun v -> (v.Dht.vs_id, v.Dht.load)) n.Dht.vss)
+          in
+          let shed = Excess.choose_shed ~keep_at_least:0 ~loads need in
+          ( List.map
+              (fun (vs_id, vs_load) ->
+                Types.{ vs_load; vs_id; heavy_node = n.Dht.node_id })
+              shed
+            @ ss,
+            ls ))
+  in
+  let pool = Pairing.of_entries sheds lights in
+  let assignments, _ = Pairing.pair ~l_min:lbi.Types.l_min pool in
+  let acc = new_acc () in
+  List.iter
+    (fun (a : Types.assignment) ->
+      match Dht.vs_of_id dht a.Types.a_vs_id with
+      | Some v when v.Dht.owner = a.Types.a_from ->
+        transfer acc ~oracle dht ~vs_id:a.Types.a_vs_id
+          ~from_node:a.Types.a_from ~to_node:a.Types.a_to ~load:a.Types.a_load
+      | Some _ | None -> ())
+    assignments;
+  {
+    hist = acc.h;
+    moved_load = acc.moved;
+    transfers = acc.n_transfers;
+    heavy_before;
+    heavy_after = count_heavy ~lbi ~epsilon dht;
+    rounds = 1;
+  }

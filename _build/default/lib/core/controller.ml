@@ -1,0 +1,94 @@
+module Dht = P2plb_chord.Dht
+module Ktree = P2plb_ktree.Ktree
+module Hilbert = P2plb_hilbert.Hilbert
+module Histogram = P2plb_metrics.Histogram
+
+type config = {
+  k : int;
+  epsilon_rel : float;
+  threshold : int;
+  proximity : bool;
+  hilbert_order : int;
+  curve : Hilbert.curve;
+  binning : P2plb_landmark.Landmark.binning;
+  route_messages : bool;
+}
+
+let default =
+  {
+    k = 2;
+    epsilon_rel = 0.05;
+    threshold = Vsa.default_threshold;
+    proximity = true;
+    hilbert_order = 2;
+    curve = Hilbert.Hilbert;
+    binning = P2plb_landmark.Landmark.Equal_width;
+    route_messages = false;
+  }
+
+type outcome = {
+  lbi : Types.lbi;
+  epsilon : float;
+  census_before : int * int * int;
+  census_after : int * int * int;
+  vsa : Vsa.result;
+  vst : Vst.result;
+  tree_depth : int;
+  tree_nodes : int;
+  lbi_rounds : int;
+  vsa_rounds : int;
+  tree_messages : int;
+  unit_loads_before : float array;
+  unit_loads_after : float array;
+}
+
+let run ?(config = default) (s : Scenario.t) =
+  let dht = s.Scenario.dht in
+  let unit_loads_before = Scenario.unit_loads s in
+  (* Phase 0: the aggregation infrastructure. *)
+  let tree = Ktree.build ~route_messages:config.route_messages ~k:config.k dht in
+  (* Phase 1: LBI aggregation + dissemination. *)
+  let lbi = Lbi.run ~rng:s.Scenario.rng tree dht in
+  let lbi_rounds = Ktree.rounds_last_sweep tree in
+  let epsilon = config.epsilon_rel *. lbi.Types.l /. lbi.Types.c in
+  (* Phase 2: classification (recorded; the VSA re-derives it per node). *)
+  let census_before = Classify.census ~lbi ~epsilon dht in
+  (* Phase 3: virtual-server assignment. *)
+  let mode =
+    if config.proximity then
+      Vsa.Aware
+        {
+          space = s.Scenario.space;
+          order = config.hilbert_order;
+          curve = config.curve;
+          binning = config.binning;
+        }
+    else Vsa.Ignorant
+  in
+  let vsa =
+    Vsa.run ~threshold:config.threshold ~epsilon ~mode ~rng:s.Scenario.rng
+      ~lbi tree dht
+  in
+  (* Phase 4: virtual-server transferring. *)
+  let vst = Vst.apply ~tree ~oracle:s.Scenario.oracle dht vsa.Vsa.assignments in
+  let census_after = Classify.census ~lbi ~epsilon dht in
+  {
+    lbi;
+    epsilon;
+    census_before;
+    census_after;
+    vsa;
+    vst;
+    tree_depth = Ktree.depth tree;
+    tree_nodes = Ktree.n_nodes tree;
+    lbi_rounds;
+    vsa_rounds = vsa.Vsa.rounds;
+    tree_messages = Ktree.messages tree;
+    unit_loads_before;
+    unit_loads_after = Scenario.unit_loads s;
+  }
+
+let moved_fraction o =
+  if o.lbi.Types.l <= 0.0 then 0.0 else o.vst.Vst.moved_load /. o.lbi.Types.l
+
+let cdf_at o ~hops = Histogram.cumulative_fraction o.vst.Vst.hist hops

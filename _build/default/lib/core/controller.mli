@@ -1,0 +1,56 @@
+module Dht = P2plb_chord.Dht
+module Ktree = P2plb_ktree.Ktree
+module Hilbert = P2plb_hilbert.Hilbert
+module Histogram = P2plb_metrics.Histogram
+
+(** The complete four-phase load-balancing round (paper §1.2):
+    LBI aggregation → node classification → virtual-server assignment
+    → virtual-server transferring, with or without the
+    proximity-aware mechanism. *)
+
+type config = {
+  k : int;  (** K-nary tree degree; paper evaluates 2 and 8 *)
+  epsilon_rel : float;
+      (** balance slack as a fraction of the mean unit load: the
+          absolute [epsilon] of §3.3 is [epsilon_rel * L / C].  0 is
+          the paper's ideal; a few percent lets the marginal shed VSs
+          pair instead of fragmenting (trade-off §3.3 describes). *)
+  threshold : int;  (** rendezvous threshold (§3.4); paper suggests 30 *)
+  proximity : bool;  (** use the proximity-aware VSA (§4) *)
+  hilbert_order : int;  (** grid bits per landmark axis (§4.2.1) *)
+  curve : Hilbert.curve;
+  binning : P2plb_landmark.Landmark.binning;
+  route_messages : bool;
+      (** charge Chord routing hops for tree construction *)
+}
+
+val default : config
+(** k = 2, epsilon_rel = 0.05, threshold = 30, proximity on,
+    order = 2, Hilbert curve. *)
+
+type outcome = {
+  lbi : Types.lbi;
+  epsilon : float;  (** the absolute epsilon used *)
+  census_before : int * int * int;  (** heavy, light, neutral *)
+  census_after : int * int * int;
+  vsa : Vsa.result;
+  vst : Vst.result;
+  tree_depth : int;
+  tree_nodes : int;
+  lbi_rounds : int;
+  vsa_rounds : int;
+  tree_messages : int;  (** build + sweeps + refresh messages *)
+  unit_loads_before : float array;
+  unit_loads_after : float array;
+}
+
+val run : ?config:config -> Scenario.t -> outcome
+(** One load-balancing round over the scenario's current loads.
+    Mutates the scenario's DHT (virtual servers move). *)
+
+val moved_fraction : outcome -> float
+(** Moved load as a fraction of total system load. *)
+
+val cdf_at : outcome -> hops:int -> float
+(** Fraction of moved load transferred within [hops] underlay hops —
+    the y-axis of the paper's Figures 7(b) and 8(b). *)

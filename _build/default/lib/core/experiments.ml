@@ -1,0 +1,650 @@
+module Prng = P2plb_prng.Prng
+module Dht = P2plb_chord.Dht
+module Ktree = P2plb_ktree.Ktree
+module Graph = P2plb_topology.Graph
+module Transit_stub = P2plb_topology.Transit_stub
+module Hilbert = P2plb_hilbert.Hilbert
+module Histogram = P2plb_metrics.Histogram
+module Stats = P2plb_metrics.Stats
+module Report = P2plb_metrics.Report
+module Workload = P2plb_workload.Workload
+module Store = P2plb_chord.Store
+
+(* ---- common ----------------------------------------------------------- *)
+
+type balance_result = {
+  unit_before : float array;
+  unit_after : float array;
+  by_capacity_after : (float * float) array;
+  heavy_before : int;
+  heavy_after : int;
+  n_nodes : int;
+  moved_fraction : float;
+  gini_before : float;
+  gini_after : float;
+}
+
+let balance_run ~seed ~n_nodes ~workload =
+  let config = { Scenario.default with n_nodes; workload } in
+  let s = Scenario.build ~seed config in
+  let o = Controller.run s in
+  let hb, _, _ = o.Controller.census_before in
+  let ha, _, _ = o.Controller.census_after in
+  {
+    unit_before = o.Controller.unit_loads_before;
+    unit_after = o.Controller.unit_loads_after;
+    by_capacity_after = Scenario.loads_by_capacity s;
+    heavy_before = hb;
+    heavy_after = ha;
+    n_nodes = Dht.n_nodes s.Scenario.dht;
+    moved_fraction = Controller.moved_fraction o;
+    gini_before = Stats.gini o.Controller.unit_loads_before;
+    gini_after = Stats.gini o.Controller.unit_loads_after;
+  }
+
+let fig4 ?(seed = 1) ?(n_nodes = 4096) () =
+  balance_run ~seed ~n_nodes ~workload:Workload.default_gaussian
+
+let fig5 = fig4
+
+let fig6 ?(seed = 1) ?(n_nodes = 4096) () =
+  balance_run ~seed ~n_nodes ~workload:Workload.default_pareto
+
+let percentiles_row label xs =
+  [
+    label;
+    Report.float_cell (Stats.percentile xs 50.0);
+    Report.float_cell (Stats.percentile xs 90.0);
+    Report.float_cell (Stats.percentile xs 99.0);
+    Report.float_cell (Array.fold_left max xs.(0) xs);
+  ]
+
+let render_fig4 r =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Figure 4 — unit load (load/capacity) before and after one LB round\n\
+        nodes=%d  heavy before=%d (%.1f%%)  heavy after=%d  moved=%.1f%% of \
+        total load\n\
+        gini(unit load): before=%.3f after=%.3f\n\n"
+       r.n_nodes r.heavy_before
+       (100.0 *. float_of_int r.heavy_before /. float_of_int r.n_nodes)
+       r.heavy_after
+       (100.0 *. r.moved_fraction)
+       r.gini_before r.gini_after);
+  Buffer.add_string buf
+    (Report.table
+       ~header:[ "unit load"; "p50"; "p90"; "p99"; "max" ]
+       [
+         percentiles_row "before" r.unit_before;
+         percentiles_row "after" r.unit_after;
+       ]);
+  let scatter label xs =
+    ( label,
+      Array.to_list (Array.mapi (fun i x -> (float_of_int i, x)) xs) )
+  in
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Report.ascii_plot ~title:"unit load per node (before vs after)"
+       ~x_label:"node" ~y_label:"load/capacity"
+       ~series:[ scatter "before" r.unit_before; scatter "after" r.unit_after ]
+       ());
+  Buffer.contents buf
+
+let render_capacity_alignment ~title r =
+  let cats = Array.length Workload.capacity_levels in
+  let sums = Array.make cats 0.0 and counts = Array.make cats 0 in
+  Array.iter
+    (fun (c, l) ->
+      let i = Workload.capacity_category c in
+      sums.(i) <- sums.(i) +. l;
+      counts.(i) <- counts.(i) + 1)
+    r.by_capacity_after;
+  let total_load = Array.fold_left ( +. ) 0.0 sums in
+  let total_capacity =
+    Array.fold_left (fun acc (c, _) -> acc +. c) 0.0 r.by_capacity_after
+  in
+  let rows =
+    List.filter_map
+      (fun i ->
+        if counts.(i) = 0 then None
+        else
+          let cap = Workload.capacity_levels.(i) in
+          let fair =
+            total_load *. cap *. float_of_int counts.(i) /. total_capacity
+          in
+          Some
+            [
+              Report.float_cell cap;
+              string_of_int counts.(i);
+              Report.float_cell (sums.(i) /. float_of_int counts.(i));
+              Report.percent_cell (sums.(i) /. total_load);
+              Report.percent_cell (fair /. total_load);
+            ])
+      (List.init cats (fun i -> i))
+  in
+  Report.table
+    ~title:
+      (title
+     ^ "\n(per capacity category: mean node load; share of total load held \
+        vs capacity-proportional fair share)")
+    ~header:
+      [ "capacity"; "nodes"; "mean load"; "load share"; "fair share" ]
+    rows
+
+(* ---- proximity (Figs. 7 and 8) --------------------------------------- *)
+
+type proximity_result = {
+  aware : Histogram.t;
+  ignorant : Histogram.t;
+  aware_mean : float;
+  ignorant_mean : float;
+  locality_ceiling : float;
+  graphs : int;
+}
+
+(* Upper bound on intra-stub-domain transfer: per stub domain,
+   min(shed supply, light demand), summed, over total supply. *)
+let locality_ceiling (s : Scenario.t) =
+  let dht = s.Scenario.dht in
+  let lbi : Types.lbi =
+    {
+      l = Dht.total_load dht;
+      c = Dht.total_capacity dht;
+      l_min =
+        Dht.fold_vs dht ~init:infinity ~f:(fun a v -> Float.min a v.Dht.load);
+    }
+  in
+  let epsilon = Controller.default.Controller.epsilon_rel *. lbi.l /. lbi.c in
+  let supply = Hashtbl.create 256 and demand = Hashtbl.create 256 in
+  let bump tbl k v =
+    Hashtbl.replace tbl k
+      (v +. Option.value ~default:0.0 (Hashtbl.find_opt tbl k))
+  in
+  Dht.fold_nodes dht ~init:() ~f:(fun () n ->
+      let g = Transit_stub.stub_domain_of s.Scenario.topo n.Dht.underlay in
+      let target =
+        Classify.target_load ~lbi ~epsilon ~capacity:n.Dht.capacity
+      in
+      let load = Dht.node_load n in
+      if load > target then bump supply g (load -. target)
+      else if target -. load >= lbi.l_min then bump demand g (target -. load));
+  let total = Hashtbl.fold (fun _ v a -> a +. v) supply 0.0 in
+  if total <= 0.0 then 0.0
+  else
+    Hashtbl.fold
+      (fun g sv a ->
+        a +. Float.min sv (Option.value ~default:0.0 (Hashtbl.find_opt demand g)))
+      supply 0.0
+    /. total
+
+let proximity_run ~seed ~graphs ~n_nodes ~topology =
+  if graphs < 1 then invalid_arg "Experiments: graphs < 1";
+  let aware = ref (Histogram.create ())
+  and ignorant = ref (Histogram.create ()) in
+  let ceilings = ref 0.0 in
+  for g = 0 to graphs - 1 do
+    List.iter
+      (fun proximity ->
+        let config = { Scenario.default with n_nodes; topology } in
+        let s = Scenario.build ~seed:(seed + (1000 * g)) config in
+        if proximity then ceilings := !ceilings +. locality_ceiling s;
+        let cc = { Controller.default with Controller.proximity } in
+        let o = Controller.run ~config:cc s in
+        let hist = o.Controller.vst.Vst.hist in
+        if proximity then aware := Histogram.merge !aware hist
+        else ignorant := Histogram.merge !ignorant hist)
+      [ true; false ]
+  done;
+  let mean h =
+    let t = Histogram.total_weight h in
+    if t <= 0.0 then 0.0
+    else
+      List.fold_left
+        (fun acc (b, w) -> acc +. (float_of_int b *. w))
+        0.0 (Histogram.bins h)
+      /. t
+  in
+  {
+    aware = !aware;
+    ignorant = !ignorant;
+    aware_mean = mean !aware;
+    ignorant_mean = mean !ignorant;
+    locality_ceiling = !ceilings /. float_of_int graphs;
+    graphs;
+  }
+
+let fig7 ?(seed = 1) ?(graphs = 10) ?(n_nodes = 4096) () =
+  proximity_run ~seed ~graphs ~n_nodes ~topology:Transit_stub.ts5k_large
+
+let fig8 ?(seed = 1) ?(graphs = 10) ?(n_nodes = 4096) () =
+  proximity_run ~seed ~graphs ~n_nodes ~topology:Transit_stub.ts5k_small
+
+let render_proximity ~title r =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "%s\n\
+        (%d topology instances; load-weighted mean transfer distance: \
+        aware=%.2f, ignorant=%.2f;\n\
+        intra-stub-domain locality ceiling=%.1f%%)\n\n"
+       title r.graphs r.aware_mean r.ignorant_mean
+       (100.0 *. r.locality_ceiling));
+  let max_bin = max (Histogram.max_bin r.aware) (Histogram.max_bin r.ignorant) in
+  let rows =
+    List.filter_map
+      (fun b ->
+        let fa = Histogram.fraction_at r.aware b
+        and fi = Histogram.fraction_at r.ignorant b in
+        if fa = 0.0 && fi = 0.0 then None
+        else
+          Some
+            [
+              string_of_int b;
+              Report.percent_cell fa;
+              Report.percent_cell fi;
+              Report.percent_cell (Histogram.cumulative_fraction r.aware b);
+              Report.percent_cell (Histogram.cumulative_fraction r.ignorant b);
+            ])
+      (List.init (max_bin + 1) (fun b -> b))
+  in
+  Buffer.add_string buf
+    (Report.table
+       ~header:
+         [ "hops"; "aware %"; "ignorant %"; "aware CDF"; "ignorant CDF" ]
+       rows);
+  let cdf_series h =
+    List.map (fun (b, f) -> (float_of_int b, f)) (Histogram.to_cdf h)
+  in
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Report.ascii_plot ~title:"CDF of moved load vs transfer distance"
+       ~x_label:"hops" ~y_label:"CDF"
+       ~series:
+         [
+           ("proximity-aware", cdf_series r.aware);
+           ("proximity-ignorant", cdf_series r.ignorant);
+         ]
+       ());
+  Buffer.contents buf
+
+(* ---- T-vsa: O(log_K N) rounds ---------------------------------------- *)
+
+type tvsa_result = {
+  k : int;
+  n_nodes_sweep : (int * int * int) list;
+}
+
+let tvsa ?(seed = 1) ~k () =
+  let sizes = [ 256; 512; 1024; 2048; 4096 ] in
+  let rows =
+    List.map
+      (fun n_nodes ->
+        let config = { Scenario.default with n_nodes } in
+        let s = Scenario.build ~seed config in
+        let cc = { Controller.default with Controller.k } in
+        let o = Controller.run ~config:cc s in
+        (n_nodes, o.Controller.tree_depth, o.Controller.vsa_rounds))
+      sizes
+  in
+  { k; n_nodes_sweep = rows }
+
+let render_tvsa results =
+  let rows =
+    List.concat_map
+      (fun r ->
+        List.map
+          (fun (n, depth, rounds) ->
+            [
+              string_of_int r.k;
+              string_of_int n;
+              string_of_int depth;
+              string_of_int rounds;
+            ])
+          r.n_nodes_sweep)
+      results
+  in
+  Report.table
+    ~title:
+      "T-vsa — VSA sweep rounds vs network size (the paper's O(log_K N) \
+       claim; depth is bounded by the 32-bit id space, not by N alone)"
+    ~header:[ "K"; "nodes"; "tree depth"; "VSA rounds" ] rows
+
+(* ---- baselines -------------------------------------------------------- *)
+
+type baseline_row = {
+  scheme : string;
+  b_heavy_before : int;
+  b_heavy_after : int;
+  b_moved : float;
+  b_mean_distance : float;
+  b_cdf10 : float;
+}
+
+let baselines ?(seed = 1) ?(n_nodes = 4096) () =
+  let config = { Scenario.default with n_nodes } in
+  let fresh () = Scenario.build ~seed config in
+  let hist_mean h =
+    let t = Histogram.total_weight h in
+    if t <= 0.0 then 0.0
+    else
+      List.fold_left
+        (fun acc (b, w) -> acc +. (float_of_int b *. w))
+        0.0 (Histogram.bins h)
+      /. t
+  in
+  let ours proximity name =
+    let s = fresh () in
+    let total = Dht.total_load s.Scenario.dht in
+    let cc = { Controller.default with Controller.proximity } in
+    let o = Controller.run ~config:cc s in
+    let hb, _, _ = o.Controller.census_before in
+    let ha, _, _ = o.Controller.census_after in
+    {
+      scheme = name;
+      b_heavy_before = hb;
+      b_heavy_after = ha;
+      b_moved = o.Controller.vst.Vst.moved_load /. total;
+      b_mean_distance = hist_mean o.Controller.vst.Vst.hist;
+      b_cdf10 = Histogram.cumulative_fraction o.Controller.vst.Vst.hist 10;
+    }
+  in
+  let baseline name run =
+    let s = fresh () in
+    let total = Dht.total_load s.Scenario.dht in
+    let r : Baselines.result =
+      run ~rng:s.Scenario.rng ~oracle:s.Scenario.oracle s.Scenario.dht
+    in
+    {
+      scheme = name;
+      b_heavy_before = r.Baselines.heavy_before;
+      b_heavy_after = r.Baselines.heavy_after;
+      b_moved = r.Baselines.moved_load /. total;
+      b_mean_distance = hist_mean r.Baselines.hist;
+      b_cdf10 = Histogram.cumulative_fraction r.Baselines.hist 10;
+    }
+  in
+  [
+    ours true "ours (proximity-aware)";
+    ours false "ours (proximity-ignorant)";
+    baseline "CFS shedding" (fun ~rng ~oracle dht ->
+        Baselines.cfs_shed ~rng ~oracle dht);
+    baseline "Rao one-to-one" (fun ~rng ~oracle dht ->
+        Baselines.rao_one_to_one ~rng ~oracle dht);
+    baseline "Rao one-to-many" (fun ~rng ~oracle dht ->
+        Baselines.rao_one_to_many ~rng ~oracle dht);
+    baseline "Rao many-to-many" (fun ~rng ~oracle dht ->
+        Baselines.rao_many_to_many ~rng ~oracle dht);
+  ]
+
+let render_baselines rows =
+  Report.table
+    ~title:
+      "Schemes compared on one ts5k-large instance (moved = fraction of \
+       total load; distance in underlay hop units)"
+    ~header:
+      [ "scheme"; "heavy before"; "heavy after"; "moved"; "mean dist"; "CDF@10" ]
+    (List.map
+       (fun r ->
+         [
+           r.scheme;
+           string_of_int r.b_heavy_before;
+           string_of_int r.b_heavy_after;
+           Report.percent_cell r.b_moved;
+           Report.float_cell r.b_mean_distance;
+           Report.percent_cell r.b_cdf10;
+         ])
+       rows)
+
+(* ---- churn / self-repair ---------------------------------------------- *)
+
+type churn_result = {
+  crashed : int;
+  joined : int;
+  tree_consistent_after : bool;
+  refresh_messages : int;
+  heavy_after_churn_lb : int;
+}
+
+let churn ?(seed = 1) ?(n_nodes = 1024) ?(crash_fraction = 0.1) () =
+  let config = { Scenario.default with n_nodes } in
+  let s = Scenario.build ~seed config in
+  let dht = s.Scenario.dht in
+  let tree = Ktree.build ~k:2 dht in
+  let crashed = int_of_float (crash_fraction *. float_of_int n_nodes) in
+  Scenario.crash_nodes s crashed;
+  Scenario.join_nodes s crashed;
+  Ktree.reset_counters tree;
+  Ktree.refresh tree dht;
+  let consistent =
+    match Ktree.check_consistent tree dht with Ok () -> true | Error _ -> false
+  in
+  let refresh_messages = Ktree.messages tree in
+  let o = Controller.run s in
+  let ha, _, _ = o.Controller.census_after in
+  {
+    crashed;
+    joined = crashed;
+    tree_consistent_after = consistent;
+    refresh_messages;
+    heavy_after_churn_lb = ha;
+  }
+
+let render_churn r =
+  Printf.sprintf
+    "Churn / self-repair: crashed %d nodes, joined %d fresh ones.\n\
+     One KT refresh pass restored structural consistency: %b (%d messages).\n\
+     One LB round on the churned network left %d heavy nodes.\n"
+    r.crashed r.joined r.tree_consistent_after r.refresh_messages
+    r.heavy_after_churn_lb
+
+(* ---- ablations --------------------------------------------------------- *)
+
+let ablation_epsilon ?(seed = 1) ?(n_nodes = 2048) () =
+  List.map
+    (fun epsilon_rel ->
+      let config = { Scenario.default with n_nodes } in
+      let s = Scenario.build ~seed config in
+      let cc = { Controller.default with Controller.epsilon_rel } in
+      let o = Controller.run ~config:cc s in
+      let ha, _, _ = o.Controller.census_after in
+      (epsilon_rel, ha, Controller.moved_fraction o))
+    [ 0.0; 0.01; 0.02; 0.05; 0.1; 0.2 ]
+
+let ablation_threshold ?(seed = 1) ?(n_nodes = 2048) () =
+  List.map
+    (fun threshold ->
+      let config = { Scenario.default with n_nodes } in
+      let s = Scenario.build ~seed config in
+      let cc = { Controller.default with Controller.threshold } in
+      let o = Controller.run ~config:cc s in
+      ( threshold,
+        Controller.cdf_at o ~hops:2,
+        Controller.cdf_at o ~hops:10 ))
+    [ 5; 10; 30; 100; 300; 1000 ]
+
+let ablation_curve ?(seed = 1) ?(n_nodes = 2048) () =
+  List.map
+    (fun curve ->
+      let config = { Scenario.default with n_nodes } in
+      let s = Scenario.build ~seed config in
+      let cc = { Controller.default with Controller.curve } in
+      let o = Controller.run ~config:cc s in
+      ( Hilbert.curve_to_string curve,
+        Controller.cdf_at o ~hops:2,
+        Controller.cdf_at o ~hops:10 ))
+    [ Hilbert.Hilbert; Hilbert.Morton; Hilbert.Row_major ]
+
+let ablation_k ?(seed = 1) ?(n_nodes = 2048) () =
+  List.map
+    (fun k ->
+      let config = { Scenario.default with n_nodes } in
+      let s = Scenario.build ~seed config in
+      let cc = { Controller.default with Controller.k } in
+      let o = Controller.run ~config:cc s in
+      (k, o.Controller.tree_depth, o.Controller.tree_nodes, o.Controller.tree_messages))
+    [ 2; 4; 8 ]
+
+let ablation_landmarks ?(seed = 1) ?(n_nodes = 2048) () =
+  List.map
+    (fun (landmark_m, hilbert_order) ->
+      let config = { Scenario.default with n_nodes; landmark_m } in
+      let s = Scenario.build ~seed config in
+      let cc = { Controller.default with Controller.hilbert_order } in
+      let o = Controller.run ~config:cc s in
+      ( landmark_m,
+        hilbert_order,
+        Controller.cdf_at o ~hops:2,
+        Controller.cdf_at o ~hops:10 ))
+    [ (4, 8); (6, 5); (8, 4); (15, 2); (15, 4); (30, 1) ]
+
+type overhead_row = {
+  o_nodes : int;
+  o_tree_messages : int;
+  o_publish_hops : int;
+  o_direct_messages : int;
+  o_restructure_messages : int;
+  o_transfers : int;
+}
+
+let overhead ?(seed = 1) () =
+  List.map
+    (fun n_nodes ->
+      let config = { Scenario.default with n_nodes } in
+      let s = Scenario.build ~seed config in
+      let o = Controller.run s in
+      {
+        o_nodes = n_nodes;
+        o_tree_messages = o.Controller.tree_messages;
+        o_publish_hops = o.Controller.vsa.Vsa.publish_hops;
+        o_direct_messages = o.Controller.vsa.Vsa.direct_messages;
+        o_restructure_messages = o.Controller.vst.Vst.restructure_messages;
+        o_transfers = o.Controller.vst.Vst.transfers;
+      })
+    [ 512; 1024; 2048; 4096 ]
+
+let render_overhead rows =
+  Report.table
+    ~title:
+      "Per-phase message cost of one load-balancing round vs network size"
+    ~header:
+      [ "nodes"; "tree msgs"; "publish hops"; "rendezvous msgs";
+        "KT migration msgs"; "transfers" ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.o_nodes;
+           string_of_int r.o_tree_messages;
+           string_of_int r.o_publish_hops;
+           string_of_int r.o_direct_messages;
+           string_of_int r.o_restructure_messages;
+           string_of_int r.o_transfers;
+         ])
+       rows)
+
+type durability_row = {
+  d_replication : int;
+  d_crashed_fraction : float;
+  d_availability_before_repair : float;
+  d_lost_fraction : float;
+  d_bytes_copied : float;
+}
+
+let durability ?(seed = 1) ?(n_nodes = 512) ?(n_objects = 5000) () =
+  List.map
+    (fun r ->
+      let config = { Scenario.default with n_nodes } in
+      let s = Scenario.build ~seed config in
+      let dht = s.Scenario.dht in
+      let store = Store.create ~replication:r () in
+      let rng = Prng.create ~seed:(seed + r) in
+      for i = 0 to n_objects - 1 do
+        Store.insert store dht
+          ~key:(P2plb_idspace.Id.hash_key i "obj")
+          ~size:(1.0 +. Prng.float rng 9.0)
+      done;
+      let total = Store.total_bytes store in
+      let crashed = n_nodes / 5 in
+      Scenario.crash_nodes s crashed;
+      let avail = Store.availability store dht in
+      let stats = Store.repair store dht in
+      {
+        d_replication = r;
+        d_crashed_fraction = float_of_int crashed /. float_of_int n_nodes;
+        d_availability_before_repair = avail;
+        d_lost_fraction = float_of_int stats.Store.lost /. float_of_int n_objects;
+        d_bytes_copied = stats.Store.bytes_copied /. total;
+      })
+    [ 1; 2; 3; 4 ]
+
+let render_durability rows =
+  Report.table
+    ~title:
+      "Replicated store under a 20% simultaneous crash (5000 objects):\n\
+       availability before repair, loss after repair, repair traffic"
+    ~header:[ "r"; "crashed"; "avail before repair"; "lost"; "repair traffic" ]
+    (List.map
+       (fun d ->
+         [
+           string_of_int d.d_replication;
+           Report.percent_cell d.d_crashed_fraction;
+           Report.percent_cell d.d_availability_before_repair;
+           Report.percent_cell d.d_lost_fraction;
+           Report.percent_cell d.d_bytes_copied;
+         ])
+       rows)
+
+type drift_row = {
+  t_epoch : int;
+  t_heavy_before : int;
+  t_heavy_after : int;
+  t_moved_fraction : float;
+}
+
+let load_drift ?(seed = 1) ?(n_nodes = 1024) ?(epochs = 6) () =
+  let config = { Scenario.default with n_nodes } in
+  let s = Scenario.build ~seed config in
+  let dht = s.Scenario.dht in
+  let rng = Prng.create ~seed:(seed + 17) in
+  List.init epochs (fun epoch ->
+      (* 20% of the virtual servers see their load redrawn: objects
+         arrive and depart between balancing rounds. *)
+      if epoch > 0 then
+        Dht.fold_vs dht ~init:() ~f:(fun () v ->
+            if Prng.unit_float rng < 0.2 then begin
+              let region = Dht.region_of_vs dht v in
+              let fraction =
+                float_of_int (P2plb_idspace.Region.len region)
+                /. float_of_int P2plb_idspace.Id.space_size
+              in
+              Dht.set_vs_load dht v
+                (Workload.vs_load rng s.Scenario.config.Scenario.workload
+                   ~fraction)
+            end);
+      let o = Controller.run s in
+      let hb, _, _ = o.Controller.census_before in
+      let ha, _, _ = o.Controller.census_after in
+      {
+        t_epoch = epoch;
+        t_heavy_before = hb;
+        t_heavy_after = ha;
+        t_moved_fraction = Controller.moved_fraction o;
+      })
+
+let render_load_drift rows =
+  Report.table
+    ~title:
+      "Periodic balancing under load drift (20% of VS loads redrawn per \
+       epoch): steady-state rounds move far less than the initial one"
+    ~header:[ "epoch"; "heavy before"; "heavy after"; "moved" ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.t_epoch;
+           string_of_int r.t_heavy_before;
+           string_of_int r.t_heavy_after;
+           Report.percent_cell r.t_moved_fraction;
+         ])
+       rows)
+
+let render_sweep ~title ~header rows = Report.table ~title ~header rows

@@ -1,0 +1,181 @@
+module Histogram = P2plb_metrics.Histogram
+module Workload = P2plb_workload.Workload
+module Transit_stub = P2plb_topology.Transit_stub
+
+(** One entry point per table/figure of the paper's evaluation
+    (§5.2), shared by the [lb_sim] CLI and the bench harness.  Each
+    [figN] function runs the experiment at the paper's parameters
+    (4096 nodes x 5 VSs, K = 2, Gnutella capacities, 15 landmarks)
+    and returns structured results; each [render_figN] formats them
+    as the table/plot the paper shows. *)
+
+type balance_result = {
+  unit_before : float array;  (** load/capacity per node, node order *)
+  unit_after : float array;
+  by_capacity_after : (float * float) array;  (** (capacity, load) *)
+  heavy_before : int;
+  heavy_after : int;
+  n_nodes : int;
+  moved_fraction : float;
+  gini_before : float;
+  gini_after : float;
+}
+
+val fig4 : ?seed:int -> ?n_nodes:int -> unit -> balance_result
+(** Figure 4: unit-load scatter before/after one LB round, Gaussian
+    loads.  Paper: ~75% of nodes heavy before; none after. *)
+
+val render_fig4 : balance_result -> string
+
+val fig5 : ?seed:int -> ?n_nodes:int -> unit -> balance_result
+(** Figure 5: load vs node capacity after LB, Gaussian loads.
+    Paper: higher-capacity nodes carry proportionally more load. *)
+
+val fig6 : ?seed:int -> ?n_nodes:int -> unit -> balance_result
+(** Figure 6: same as Fig. 5 with Pareto(1.5) loads. *)
+
+val render_capacity_alignment : title:string -> balance_result -> string
+(** Per-capacity-category mean load versus the capacity-proportional
+    fair share — the alignment Figs. 5–6 demonstrate. *)
+
+type proximity_result = {
+  aware : Histogram.t;   (** moved load by underlay hop distance *)
+  ignorant : Histogram.t;
+  aware_mean : float;    (** load-weighted mean transfer distance *)
+  ignorant_mean : float;
+  locality_ceiling : float;
+      (** fraction of shed load that could possibly have stayed inside
+          its own stub domain given each domain's supply and demand —
+          an upper bound on the CDF at intra-domain distances *)
+  graphs : int;  (** topology instances aggregated (paper: 10) *)
+}
+
+val fig7 :
+  ?seed:int -> ?graphs:int -> ?n_nodes:int -> unit -> proximity_result
+(** Figure 7: moved-load distance distribution and CDF on ts5k-large.
+    Paper: aware ≈67% of moved load within 2 hops, ≈86% within 10;
+    ignorant ≈13% within 10. *)
+
+val fig8 :
+  ?seed:int -> ?graphs:int -> ?n_nodes:int -> unit -> proximity_result
+(** Figure 8: same on ts5k-small (nodes scattered Internet-wide). *)
+
+val render_proximity : title:string -> proximity_result -> string
+(** Distribution table, CDF table and an ASCII CDF plot. *)
+
+type tvsa_result = {
+  k : int;
+  n_nodes_sweep : (int * int * int) list;
+      (** (N, tree depth, VSA rounds) per network size *)
+}
+
+val tvsa : ?seed:int -> k:int -> unit -> tvsa_result
+(** The O(log_K N) claim: VSA round count versus N for a K-nary
+    tree, N in 256..4096. *)
+
+val render_tvsa : tvsa_result list -> string
+
+type baseline_row = {
+  scheme : string;
+  b_heavy_before : int;
+  b_heavy_after : int;
+  b_moved : float;  (** fraction of total load *)
+  b_mean_distance : float;
+  b_cdf10 : float;
+}
+
+val baselines : ?seed:int -> ?n_nodes:int -> unit -> baseline_row list
+(** Our scheme (aware + ignorant) against CFS shedding and the three
+    Rao et al. schemes, all on the same ts5k-large instance. *)
+
+val render_baselines : baseline_row list -> string
+
+type churn_result = {
+  crashed : int;
+  joined : int;
+  tree_consistent_after : bool;
+  refresh_messages : int;
+  heavy_after_churn_lb : int;
+      (** heavy nodes remaining after one post-churn LB round *)
+}
+
+val churn : ?seed:int -> ?n_nodes:int -> ?crash_fraction:float -> unit -> churn_result
+(** Self-repair (§3.1.1): crash a fraction of nodes, join fresh ones,
+    refresh the KT tree, check structural consistency, then run one
+    LB round on the churned network. *)
+
+val render_churn : churn_result -> string
+
+(** {1 Ablations} *)
+
+val ablation_epsilon :
+  ?seed:int -> ?n_nodes:int -> unit -> (float * int * float) list
+(** epsilon_rel sweep: (epsilon_rel, heavy_after, moved_fraction) —
+    the trade-off §3.3 describes. *)
+
+val ablation_threshold :
+  ?seed:int -> ?n_nodes:int -> unit -> (int * float * float) list
+(** Rendezvous-threshold sweep: (threshold, cdf@2, cdf@10). *)
+
+val ablation_curve :
+  ?seed:int -> ?n_nodes:int -> unit -> (string * float * float) list
+(** Hilbert vs Morton vs row-major keys: (curve, cdf@2, cdf@10). *)
+
+val ablation_k :
+  ?seed:int -> ?n_nodes:int -> unit -> (int * int * int * int) list
+(** Tree degree sweep: (K, depth, tree nodes, messages). *)
+
+val ablation_landmarks :
+  ?seed:int -> ?n_nodes:int -> unit -> (int * int * float * float) list
+(** Landmark-count sweep (m, order, cdf@2, cdf@10): trades per-axis
+    key resolution (the 32-bit ring caps [m * order] useful bits)
+    against false-clustering robustness. *)
+
+type overhead_row = {
+  o_nodes : int;
+  o_tree_messages : int;      (** build + sweeps + refresh *)
+  o_publish_hops : int;       (** aware-mode record publication *)
+  o_direct_messages : int;    (** rendezvous -> endpoint notifications *)
+  o_restructure_messages : int;  (** lazy KT migration after VST *)
+  o_transfers : int;
+}
+
+val overhead : ?seed:int -> unit -> overhead_row list
+(** The load-balancing {e cost} the paper argues about: message counts
+    of each phase as the network grows (N in 512..4096). *)
+
+val render_overhead : overhead_row list -> string
+
+type durability_row = {
+  d_replication : int;
+  d_crashed_fraction : float;
+  d_availability_before_repair : float;
+  d_lost_fraction : float;       (** objects unrecoverable after repair *)
+  d_bytes_copied : float;        (** re-replication traffic, fraction of store *)
+}
+
+val durability :
+  ?seed:int -> ?n_nodes:int -> ?n_objects:int -> unit -> durability_row list
+(** The replicated-store substrate under churn: availability and loss
+    for replication factors 1..4 when 20% of nodes crash at once. *)
+
+val render_durability : durability_row list -> string
+
+type drift_row = {
+  t_epoch : int;
+  t_heavy_before : int;
+  t_heavy_after : int;
+  t_moved_fraction : float;
+}
+
+val load_drift :
+  ?seed:int -> ?n_nodes:int -> ?epochs:int -> unit -> drift_row list
+(** Periodic balancing under load drift: each epoch redraws 20% of the
+    virtual servers' loads (object churn), then runs one LB round.
+    After the initial alignment, per-epoch moved load stays small —
+    the steady-state cost of keeping a live system balanced. *)
+
+val render_load_drift : drift_row list -> string
+
+val render_sweep :
+  title:string -> header:string list -> string list list -> string

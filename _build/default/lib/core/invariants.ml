@@ -1,0 +1,71 @@
+module Id = P2plb_idspace.Id
+module Region = P2plb_idspace.Region
+module Dht = P2plb_chord.Dht
+module Ktree = P2plb_ktree.Ktree
+
+let ring_partition dht =
+  let total =
+    Dht.fold_vs dht ~init:0 ~f:(fun acc v ->
+        acc + Region.len (Dht.region_of_vs dht v))
+  in
+  if total = Id.space_size then Ok ()
+  else
+    Error
+      (Printf.sprintf "regions cover %d of %d identifiers" total Id.space_size)
+
+let ownership dht =
+  let err = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !err = None then err := Some s) fmt in
+  (* every ring VS is in its owner's list, owner alive *)
+  Dht.fold_vs dht ~init:() ~f:(fun () v ->
+      if not (Dht.is_alive dht v.Dht.owner) then
+        fail "VS %#x owned by dead node %d" v.Dht.vs_id v.Dht.owner
+      else begin
+        let owner = Dht.node dht v.Dht.owner in
+        if not (List.exists (fun x -> x.Dht.vs_id = v.Dht.vs_id) owner.Dht.vss)
+        then fail "VS %#x missing from node %d's list" v.Dht.vs_id v.Dht.owner
+      end);
+  (* every listed VS is on the ring with the right owner *)
+  Dht.fold_nodes dht ~init:() ~f:(fun () n ->
+      List.iter
+        (fun v ->
+          match Dht.vs_of_id dht v.Dht.vs_id with
+          | None -> fail "node %d lists VS %#x not on the ring" n.Dht.node_id v.Dht.vs_id
+          | Some ring_v ->
+            if ring_v.Dht.owner <> n.Dht.node_id then
+              fail "node %d lists VS %#x owned by %d" n.Dht.node_id v.Dht.vs_id
+                ring_v.Dht.owner)
+        n.Dht.vss);
+  match !err with None -> Ok () | Some e -> Error e
+
+let loads_nonnegative dht =
+  Dht.fold_vs dht ~init:(Ok ()) ~f:(fun acc v ->
+      match acc with
+      | Error _ -> acc
+      | Ok () ->
+        if v.Dht.load < 0.0 then
+          Error (Printf.sprintf "VS %#x has negative load %g" v.Dht.vs_id v.Dht.load)
+        else acc)
+
+let load_conservation ~expected_total ?(tolerance = 1e-6) dht =
+  let total = Dht.total_load dht in
+  let bound = tolerance *. Float.max 1.0 (abs_float expected_total) in
+  if abs_float (total -. expected_total) <= bound then Ok ()
+  else
+    Error
+      (Printf.sprintf "total load %g, expected %g (tolerance %g)" total
+         expected_total bound)
+
+let tree t dht = Ktree.check_consistent t dht
+
+let all ?tree:kt ?expected_total dht =
+  let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  let* () = ring_partition dht in
+  let* () = ownership dht in
+  let* () = loads_nonnegative dht in
+  let* () =
+    match expected_total with
+    | Some expected_total -> load_conservation ~expected_total dht
+    | None -> Ok ()
+  in
+  match kt with Some t -> tree t dht | None -> Ok ()

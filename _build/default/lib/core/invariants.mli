@@ -1,0 +1,30 @@
+module Dht = P2plb_chord.Dht
+module Ktree = P2plb_ktree.Ktree
+
+(** Whole-system invariant checking, for tests, examples and debugging
+    sessions.  Each check returns [Ok ()] or a description of the
+    first violation found. *)
+
+val ring_partition : 'a Dht.t -> (unit, string) result
+(** Virtual-server regions tile the identifier space exactly. *)
+
+val ownership : 'a Dht.t -> (unit, string) result
+(** Every VS is listed by exactly its owner node; every listed VS is
+    on the ring; owners are alive. *)
+
+val loads_nonnegative : 'a Dht.t -> (unit, string) result
+
+val load_conservation :
+  expected_total:float -> ?tolerance:float -> 'a Dht.t -> (unit, string) result
+(** Total system load equals [expected_total] within [tolerance]
+    (default 1e-6 relative). *)
+
+val tree : Ktree.t -> 'a Dht.t -> (unit, string) result
+(** Delegates to {!Ktree.check_consistent}. *)
+
+val all :
+  ?tree:Ktree.t ->
+  ?expected_total:float ->
+  'a Dht.t ->
+  (unit, string) result
+(** Runs every applicable check; first failure wins. *)

@@ -1,0 +1,54 @@
+module Prng = P2plb_prng.Prng
+module Dht = P2plb_chord.Dht
+module Ktree = P2plb_ktree.Ktree
+
+let node_lbi (n : Dht.node) : Types.lbi =
+  let l = Dht.node_load n in
+  let l_min =
+    List.fold_left (fun acc v -> Float.min acc v.Dht.load) infinity n.Dht.vss
+  in
+  { l; c = n.Dht.capacity; l_min }
+
+let zero_lbi : Types.lbi = { l = 0.0; c = 0.0; l_min = infinity }
+
+let aggregate ~rng tree dht =
+  if Dht.n_nodes dht = 0 then invalid_arg "Lbi.aggregate: no alive nodes";
+  (* Each node reports through one randomly chosen VS (to avoid
+     redundant per-node reports); the VS hands the report to its
+     designated KT leaf. *)
+  let assignment = Ktree.leaf_assignment tree in
+  let per_leaf : (P2plb_idspace.Id.t, Types.lbi list) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  Dht.fold_nodes dht ~init:() ~f:(fun () n ->
+      let v = Dht.report_vs dht rng n in
+      match Hashtbl.find_opt assignment v.Dht.vs_id with
+      | None -> () (* cannot happen: every VS hosts a leaf *)
+      | Some leaf ->
+        let key = leaf.Ktree.key in
+        let existing =
+          match Hashtbl.find_opt per_leaf key with Some l -> l | None -> []
+        in
+        Hashtbl.replace per_leaf key (node_lbi n :: existing));
+  Ktree.sweep_up tree
+    ~at_leaf:(fun leaf ->
+      match Hashtbl.find_opt per_leaf leaf.Ktree.key with
+      | None -> zero_lbi
+      | Some reports -> List.fold_left Types.lbi_combine zero_lbi reports)
+    ~combine:(fun node children ->
+      (* An internal node's own leaf reports, if any (a KT node's key
+         may coincide with a designated leaf only for leaves, so this
+         is normally [zero_lbi]). *)
+      ignore node;
+      List.fold_left Types.lbi_combine zero_lbi children)
+
+let disseminate tree dht lbi =
+  ignore dht;
+  Ktree.sweep_down tree ~at_root:lbi
+    ~split:(fun _ v -> v)
+    ~at_leaf:(fun _ _ -> ())
+
+let run ~rng tree dht =
+  let lbi = aggregate ~rng tree dht in
+  disseminate tree dht lbi;
+  lbi

@@ -1,0 +1,27 @@
+module Prng = P2plb_prng.Prng
+module Dht = P2plb_chord.Dht
+module Ktree = P2plb_ktree.Ktree
+
+(** Phase 1: load-balancing-information aggregation and dissemination
+    (paper §3.2–§3.3).
+
+    Every DHT node reports [<L_i, C_i, L_{i,min}>] through one
+    randomly chosen virtual server to that VS's designated KT leaf;
+    KT nodes combine reports bottom-up (sums for load and capacity,
+    min for the minimum VS load), producing the system-wide
+    [<L, C, L_min>] at the root, which is then disseminated top-down
+    to every node.  Both directions take O(log_K N) rounds. *)
+
+val node_lbi : Dht.node -> Types.lbi
+(** [<L_i, C_i, L_{i,min}>] of one physical node.  [l_min] is
+    [infinity] for a node hosting no VS. *)
+
+val aggregate : rng:Prng.t -> Ktree.t -> 'a Dht.t -> Types.lbi
+(** Bottom-up aggregation over the current tree; returns the root's
+    view.  Raises [Invalid_argument] if the DHT has no alive nodes. *)
+
+val disseminate : Ktree.t -> 'a Dht.t -> Types.lbi -> unit
+(** Top-down push of the root LBI (message-counted on the tree). *)
+
+val run : rng:Prng.t -> Ktree.t -> 'a Dht.t -> Types.lbi
+(** {!aggregate} followed by {!disseminate}. *)

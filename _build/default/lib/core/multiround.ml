@@ -1,0 +1,52 @@
+type round = {
+  index : int;
+  heavy_before : int;
+  heavy_after : int;
+  moved_load : float;
+  transfers : int;
+}
+
+type result = {
+  rounds : round list;
+  converged : bool;
+  total_moved : float;
+  final_heavy : int;
+}
+
+let run ?(config = Controller.default) ?(max_rounds = 10) scenario =
+  if max_rounds < 1 then invalid_arg "Multiround.run: max_rounds < 1";
+  let rec go index acc total =
+    let o = Controller.run ~config scenario in
+    let hb, _, _ = o.Controller.census_before in
+    let ha, _, _ = o.Controller.census_after in
+    let r =
+      {
+        index;
+        heavy_before = hb;
+        heavy_after = ha;
+        moved_load = o.Controller.vst.Vst.moved_load;
+        transfers = o.Controller.vst.Vst.transfers;
+      }
+    in
+    let acc = r :: acc and total = total +. r.moved_load in
+    if ha = 0 || r.transfers = 0 || index + 1 >= max_rounds then
+      let converged = ha = 0 || r.transfers = 0 in
+      {
+        rounds = List.rev acc;
+        converged;
+        total_moved = total;
+        final_heavy = ha;
+      }
+    else go (index + 1) acc total
+  in
+  go 0 [] 0.0
+
+let pp fmt r =
+  Format.fprintf fmt "%d round(s), converged=%b, final heavy=%d@\n"
+    (List.length r.rounds) r.converged r.final_heavy;
+  List.iter
+    (fun round ->
+      Format.fprintf fmt "  round %d: heavy %d -> %d, moved %.4g in %d transfers@\n"
+        round.index round.heavy_before round.heavy_after round.moved_load
+        round.transfers)
+    r.rounds

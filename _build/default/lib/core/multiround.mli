@@ -1,0 +1,34 @@
+(** Driving the load balancer to convergence.
+
+    The paper's scheme runs periodically; one round usually suffices
+    (Fig. 4), but adversarial load shapes (heavy Pareto tails, tiny
+    epsilon) can need a few rounds, and a live system re-balances
+    after every load drift.  This module iterates {!Controller.run}
+    until quiescence and reports per-round statistics. *)
+
+type round = {
+  index : int;  (** 0-based *)
+  heavy_before : int;
+  heavy_after : int;
+  moved_load : float;
+  transfers : int;
+}
+
+type result = {
+  rounds : round list;  (** in execution order, at least one *)
+  converged : bool;
+      (** no heavy node remained, or a fixpoint was reached (a round
+          moved nothing) *)
+  total_moved : float;
+  final_heavy : int;
+}
+
+val run :
+  ?config:Controller.config ->
+  ?max_rounds:int ->
+  Scenario.t ->
+  result
+(** Runs up to [max_rounds] (default 10) rounds, stopping early when
+    no heavy nodes remain or a round makes no transfer. *)
+
+val pp : Format.formatter -> result -> unit

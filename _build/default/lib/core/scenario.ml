@@ -1,0 +1,112 @@
+module Prng = P2plb_prng.Prng
+module Dht = P2plb_chord.Dht
+module Graph = P2plb_topology.Graph
+module Transit_stub = P2plb_topology.Transit_stub
+module Landmark = P2plb_landmark.Landmark
+module Workload = P2plb_workload.Workload
+
+type config = {
+  n_nodes : int;
+  vs_per_node : int;
+  topology : Transit_stub.params;
+  workload : Workload.config;
+  landmark_m : int;
+  landmark_spread : bool;
+}
+
+let default =
+  {
+    n_nodes = 4096;
+    vs_per_node = 5;
+    topology = Transit_stub.ts5k_large;
+    workload = Workload.default_gaussian;
+    landmark_m = 15;
+    landmark_spread = false;
+  }
+
+type t = {
+  rng : Prng.t;
+  dht : Types.vsa_record Dht.t;
+  topo : Transit_stub.t;
+  oracle : Graph.Oracle.t;
+  space : Landmark.space;
+  config : config;
+}
+
+let build ~seed config =
+  if config.n_nodes < 1 then invalid_arg "Scenario.build: n_nodes < 1";
+  let master = Prng.create ~seed in
+  let topo_rng = Prng.split master in
+  let member_rng = Prng.split master in
+  let load_rng = Prng.split master in
+  let landmark_rng = Prng.split master in
+  let lb_rng = Prng.split master in
+  let topo = Transit_stub.generate topo_rng config.topology in
+  let stubs = topo.Transit_stub.stub_vertices in
+  if Array.length stubs < config.n_nodes then
+    invalid_arg "Scenario.build: topology has fewer stub vertices than n_nodes";
+  (* Overlay nodes are end hosts: distinct random stub vertices. *)
+  let picks =
+    Prng.sample_distinct member_rng ~n:config.n_nodes
+      ~universe:(Array.length stubs)
+  in
+  let dht = Dht.create ~seed:(seed lxor 0x5bd1e995) in
+  Array.iter
+    (fun i ->
+      let capacity = Workload.sample_capacity member_rng in
+      ignore
+        (Dht.join dht ~capacity ~underlay:stubs.(i) ~n_vs:config.vs_per_node))
+    picks;
+  Workload.assign_loads load_rng config.workload dht;
+  (* Landmark vectors are measured on the latency graph — what real
+     RTT probes would see; transfer costs stay on the hop graph. *)
+  let landmarks =
+    if config.landmark_spread then
+      Landmark.select_spread landmark_rng topo.Transit_stub.latency_graph
+        ~m:config.landmark_m
+    else
+      Landmark.select_random landmark_rng topo.Transit_stub.latency_graph
+        ~m:config.landmark_m
+  in
+  let space = Landmark.make_space topo.Transit_stub.latency_graph ~landmarks in
+  {
+    rng = lb_rng;
+    dht;
+    topo;
+    oracle = Graph.Oracle.create topo.Transit_stub.graph;
+    space;
+    config;
+  }
+
+let join_nodes t n =
+  let stubs = t.topo.Transit_stub.stub_vertices in
+  for _ = 1 to n do
+    let capacity = Workload.sample_capacity t.rng in
+    let underlay = stubs.(Prng.int t.rng (Array.length stubs)) in
+    ignore
+      (Dht.join t.dht ~capacity ~underlay ~n_vs:t.config.vs_per_node)
+  done
+
+let crash_nodes t n =
+  for _ = 1 to n do
+    let alive = Dht.alive_nodes t.dht in
+    match alive with
+    | [] | [ _ ] -> ()
+    | _ :: _ ->
+      let arr = Array.of_list alive in
+      let victim = arr.(Prng.int t.rng (Array.length arr)) in
+      Dht.crash t.dht victim.Dht.node_id
+  done
+
+let reassign_loads t =
+  Workload.assign_loads (Prng.split t.rng) t.config.workload t.dht
+
+let unit_loads t =
+  Array.of_list
+    (List.map Dht.node_unit_load (Dht.alive_nodes t.dht))
+
+let loads_by_capacity t =
+  Array.of_list
+    (List.map
+       (fun n -> (n.Dht.capacity, Dht.node_load n))
+       (Dht.alive_nodes t.dht))

@@ -1,0 +1,173 @@
+module Prng = P2plb_prng.Prng
+module Id = P2plb_idspace.Id
+module Region = P2plb_idspace.Region
+module Dht = P2plb_chord.Dht
+module Ktree = P2plb_ktree.Ktree
+module Landmark = P2plb_landmark.Landmark
+module Hilbert = P2plb_hilbert.Hilbert
+
+type mode =
+  | Ignorant
+  | Aware of {
+      space : Landmark.space;
+      order : int;
+      curve : Hilbert.curve;
+      binning : Landmark.binning;
+    }
+
+type result = {
+  assignments : Types.assignment list;
+  unassigned : Pairing.pool;
+  n_heavy : int;
+  n_light : int;
+  n_neutral : int;
+  shed_offered : int;
+  load_offered : float;
+  publish_hops : int;
+  direct_messages : int;
+  rounds : int;
+}
+
+let default_threshold = 30
+
+(* Per-node VSA records: what a heavy node offers, or a light node's
+   spare capacity. *)
+let node_records ~epsilon ~(lbi : Types.lbi) (n : Dht.node) :
+    Types.vsa_record list =
+  match
+    Classify.classify ~lbi ~epsilon ~load:(Dht.node_load n)
+      ~capacity:n.Dht.capacity
+  with
+  | Types.Neutral -> []
+  | Types.Light ->
+    let target =
+      Classify.target_load ~lbi ~epsilon ~capacity:n.Dht.capacity
+    in
+    [ Types.Light { deficit = target -. Dht.node_load n; light_node = n.Dht.node_id } ]
+  | Types.Heavy ->
+    let target =
+      Classify.target_load ~lbi ~epsilon ~capacity:n.Dht.capacity
+    in
+    let need = Dht.node_load n -. target in
+    let loads =
+      Array.of_list (List.map (fun v -> (v.Dht.vs_id, v.Dht.load)) n.Dht.vss)
+    in
+    let shed = Excess.choose_shed ~keep_at_least:0 ~loads need in
+    List.map
+      (fun (vs_id, vs_load) ->
+        Types.Shed { vs_load; vs_id; heavy_node = n.Dht.node_id })
+      shed
+
+let pool_of_records records =
+  let sheds, lights =
+    List.fold_left
+      (fun (ss, ls) r ->
+        match r with
+        | Types.Shed s -> (s :: ss, ls)
+        | Types.Light l -> (ss, l :: ls))
+      ([], []) records
+  in
+  Pairing.of_entries sheds lights
+
+let run ?(threshold = default_threshold) ?(epsilon = 0.0) ~mode ~rng ~lbi tree
+    dht =
+  let nodes = Dht.alive_nodes dht in
+  let n_heavy = ref 0 and n_light = ref 0 and n_neutral = ref 0 in
+  let publish_hops = ref 0 in
+  let all_records =
+    List.concat_map
+      (fun n ->
+        let records = node_records ~epsilon ~lbi n in
+        (match
+           Classify.classify ~lbi ~epsilon ~load:(Dht.node_load n)
+             ~capacity:n.Dht.capacity
+         with
+        | Types.Heavy -> incr n_heavy
+        | Types.Light -> incr n_light
+        | Types.Neutral -> incr n_neutral);
+        List.map (fun r -> (n, r)) records)
+      nodes
+  in
+  let shed_offered, load_offered =
+    List.fold_left
+      (fun (c, l) (_, r) ->
+        match r with
+        | Types.Shed s -> (c + 1, l +. s.Types.vs_load)
+        | Types.Light _ -> (c, l))
+      (0, 0.0) all_records
+  in
+  (* Route every record to a KT leaf, according to the mode. *)
+  let assignment = Ktree.leaf_assignment tree in
+  let per_leaf : (Id.t, Types.vsa_record list) Hashtbl.t = Hashtbl.create 1024 in
+  let report_to_leaf leaf r =
+    let key = leaf.Ktree.key in
+    let existing =
+      match Hashtbl.find_opt per_leaf key with Some l -> l | None -> []
+    in
+    Hashtbl.replace per_leaf key (r :: existing)
+  in
+  (match mode with
+  | Ignorant ->
+    List.iter
+      (fun (n, r) ->
+        let v = Dht.report_vs dht rng n in
+        match Hashtbl.find_opt assignment v.Dht.vs_id with
+        | Some leaf -> report_to_leaf leaf r
+        | None -> ())
+      all_records
+  | Aware { space; order; curve; binning } ->
+    (* Publish records into the DHT keyed by Hilbert number... *)
+    List.iter
+      (fun (n, r) ->
+        let key = Landmark.dht_key ~curve ~binning space ~order n.Dht.underlay in
+        let from = (Dht.report_vs dht rng n).Dht.vs_id in
+        publish_hops := !publish_hops + Dht.put dht ~from ~key r)
+      all_records;
+    (* ... then every VS reports what landed in its region to its
+       designated leaf. *)
+    Dht.fold_vs dht ~init:() ~f:(fun () v ->
+        match Hashtbl.find_opt assignment v.Dht.vs_id with
+        | None -> ()
+        | Some leaf ->
+          let region = Dht.region_of_vs dht v in
+          List.iter
+            (fun (_, r) -> report_to_leaf leaf r)
+            (Dht.items_in_region dht region));
+    Dht.clear_items dht);
+  (* Bottom-up rendezvous sweep. *)
+  let assignments = ref [] in
+  let direct_messages = ref 0 in
+  let pair_here depth pool =
+    let made, leftover = Pairing.pair ~depth ~l_min:lbi.Types.l_min pool in
+    assignments := List.rev_append made !assignments;
+    direct_messages := !direct_messages + (2 * List.length made);
+    leftover
+  in
+  let root_pool =
+    Ktree.sweep_up tree
+      ~at_leaf:(fun leaf ->
+        let pool =
+          match Hashtbl.find_opt per_leaf leaf.Ktree.key with
+          | None -> Pairing.empty
+          | Some records -> pool_of_records records
+        in
+        if Pairing.size pool >= threshold then pair_here leaf.Ktree.depth pool
+        else pool)
+      ~combine:(fun node children ->
+        let pool = List.fold_left Pairing.merge Pairing.empty children in
+        if node.Ktree.depth = 0 || Pairing.size pool >= threshold then
+          pair_here node.Ktree.depth pool
+        else pool)
+  in
+  {
+    assignments = List.rev !assignments;
+    unassigned = root_pool;
+    n_heavy = !n_heavy;
+    n_light = !n_light;
+    n_neutral = !n_neutral;
+    shed_offered;
+    load_offered;
+    publish_hops = !publish_hops;
+    direct_messages = !direct_messages;
+    rounds = Ktree.rounds_last_sweep tree;
+  }

@@ -1,0 +1,62 @@
+module Prng = P2plb_prng.Prng
+module Id = P2plb_idspace.Id
+module Dht = P2plb_chord.Dht
+module Ktree = P2plb_ktree.Ktree
+module Landmark = P2plb_landmark.Landmark
+module Hilbert = P2plb_hilbert.Hilbert
+
+(** Phase 3: virtual-server assignment (paper §3.4 and §4.3).
+
+    Heavy nodes select the minimal set of virtual servers to shed
+    ({!Excess}); heavy and light nodes inject VSA records at the KT
+    leaves; rendezvous pairing ({!Pairing}) runs bottom-up along the
+    tree, pairing earlier the records that are closer in identifier
+    space.
+
+    Two report-injection modes:
+
+    - {b Proximity-ignorant} (§3.4): a node hands its records to a
+      random one of its own VSs, whose designated leaf receives them —
+      so proximity in the identifier space is accidental.
+    - {b Proximity-aware} (§4.3): a node publishes its records into
+      the DHT keyed by its landmark-vector Hilbert number; each VS
+      reports the records that landed in its region to its designated
+      leaf.  Physically close nodes' records are then adjacent in
+      identifier space and pair at low rendezvous points. *)
+
+type mode =
+  | Ignorant
+  | Aware of {
+      space : Landmark.space;
+      order : int;
+      curve : Hilbert.curve;
+      binning : Landmark.binning;
+    }
+
+type result = {
+  assignments : Types.assignment list;
+  unassigned : Pairing.pool;  (** still unmatched at the root *)
+  n_heavy : int;
+  n_light : int;
+  n_neutral : int;
+  shed_offered : int;     (** VSs offered by heavy nodes *)
+  load_offered : float;
+  publish_hops : int;     (** overlay hops spent publishing (aware mode) *)
+  direct_messages : int;  (** rendezvous→endpoint notifications *)
+  rounds : int;
+}
+
+val default_threshold : int
+(** 30, the rendezvous threshold the paper suggests. *)
+
+val run :
+  ?threshold:int ->
+  ?epsilon:float ->
+  mode:mode ->
+  rng:Prng.t ->
+  lbi:Types.lbi ->
+  Ktree.t ->
+  Types.vsa_record Dht.t ->
+  result
+(** One full VSA sweep against the current ring and tree.  In [Aware]
+    mode, published records are cleared from DHT storage afterwards. *)

@@ -1,0 +1,76 @@
+module Dht = P2plb_chord.Dht
+module Ktree = P2plb_ktree.Ktree
+module Graph = P2plb_topology.Graph
+module Histogram = P2plb_metrics.Histogram
+
+type result = {
+  hist : Histogram.t;
+  moved_load : float;
+  transfers : int;
+  skipped : int;
+  restructure_messages : int;
+}
+
+let apply ?tree ~oracle dht assignments =
+  let hist = Histogram.create () in
+  let moved_load = ref 0.0 in
+  let transfers = ref 0 in
+  let skipped = ref 0 in
+  let restructure = ref 0 in
+  (* KT nodes planted per VS, for lazy-migration accounting. *)
+  let kt_per_vs : (P2plb_idspace.Id.t, int) Hashtbl.t = Hashtbl.create 256 in
+  (match tree with
+  | None -> ()
+  | Some t ->
+    ignore
+      (Ktree.fold_nodes t ~init:() ~f:(fun () n ->
+           let cur =
+             match Hashtbl.find_opt kt_per_vs n.Ktree.host with
+             | Some c -> c
+             | None -> 0
+           in
+           Hashtbl.replace kt_per_vs n.Ktree.host (cur + 1))));
+  List.iter
+    (fun (a : Types.assignment) ->
+      match Dht.vs_of_id dht a.a_vs_id with
+      | Some v when v.Dht.owner = a.a_from && Dht.is_alive dht a.a_to ->
+        let src = Dht.node dht a.a_from and dst = Dht.node dht a.a_to in
+        Dht.transfer_vs dht ~vs_id:a.a_vs_id ~to_node:a.a_to;
+        let hops =
+          Graph.Oracle.distance oracle ~src:src.Dht.underlay
+            ~dst:dst.Dht.underlay
+        in
+        Histogram.add hist ~bin:hops ~weight:v.Dht.load;
+        moved_load := !moved_load +. v.Dht.load;
+        incr transfers;
+        (match tree with
+        | None -> ()
+        | Some t ->
+          let kt_count =
+            match Hashtbl.find_opt kt_per_vs a.a_vs_id with
+            | Some c -> c
+            | None -> 0
+          in
+          restructure := !restructure + (kt_count * (Ktree.k t + 1)))
+      | Some _ | None -> incr skipped)
+    assignments;
+  (* Lazy migration: the tree re-checks its planting after the whole
+     VSA/VST round (hosts are VS ids, so structure is unchanged; this
+     re-validates coverage after ring-state changes). *)
+  (match tree with None -> () | Some t -> Ktree.refresh t dht);
+  {
+    hist;
+    moved_load = !moved_load;
+    transfers = !transfers;
+    skipped = !skipped;
+    restructure_messages = !restructure;
+  }
+
+let mean_transfer_distance r =
+  if r.moved_load <= 0.0 then 0.0
+  else
+    List.fold_left
+      (fun acc (bin, w) -> acc +. (float_of_int bin *. w))
+      0.0
+      (Histogram.bins r.hist)
+    /. r.moved_load

@@ -1,0 +1,35 @@
+module Dht = P2plb_chord.Dht
+module Ktree = P2plb_ktree.Ktree
+module Graph = P2plb_topology.Graph
+module Histogram = P2plb_metrics.Histogram
+
+(** Phase 4: virtual-server transferring (paper §3.5).
+
+    Applies the paired assignments: each VS moves (with its load and
+    region) from its heavy node to the assigned light node.  The
+    transfer cost is the weighted underlay hop distance between the
+    two physical nodes — the metric of the paper's Figures 7–8 — and
+    each transferred VS's KT nodes lazily migrate with it at K+1
+    messages apiece. *)
+
+type result = {
+  hist : Histogram.t;  (** moved load, binned by underlay hop distance *)
+  moved_load : float;
+  transfers : int;
+  skipped : int;
+      (** assignments that could not be applied (VS vanished or target
+          died between VSA and VST) *)
+  restructure_messages : int;
+}
+
+val apply :
+  ?tree:Ktree.t ->
+  oracle:Graph.Oracle.t ->
+  'a Dht.t ->
+  Types.assignment list ->
+  result
+(** [tree] enables KT-migration message accounting (and is refreshed
+    afterwards under the lazy-migration protocol). *)
+
+val mean_transfer_distance : result -> float
+(** Load-weighted mean hop distance; 0 when nothing moved. *)

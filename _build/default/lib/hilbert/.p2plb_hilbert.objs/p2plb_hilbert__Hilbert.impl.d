@@ -1,0 +1,1 @@
+lib/hilbert/hilbert.ml: Array

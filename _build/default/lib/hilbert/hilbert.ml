@@ -1,0 +1,178 @@
+type curve = Hilbert | Morton | Row_major
+
+let max_index_bits = 62
+
+let index_bits ~dims ~order =
+  if dims < 1 then invalid_arg "Hilbert: dims < 1";
+  if order < 1 then invalid_arg "Hilbert: order < 1";
+  let b = dims * order in
+  if b > max_index_bits then invalid_arg "Hilbert: dims * order > 62";
+  b
+
+let check_coords ~dims ~order coords =
+  if Array.length coords <> dims then invalid_arg "Hilbert: wrong arity";
+  let lim = 1 lsl order in
+  Array.iter
+    (fun c -> if c < 0 || c >= lim then invalid_arg "Hilbert: coord out of range")
+    coords
+
+(* --- Skilling's transpose representation ------------------------------
+   The "transpose" of an index distributes its bits across the [dims]
+   words: bit [j] of word [i] is index bit [j * dims + (dims - 1 - i)]
+   counting from the most significant end. *)
+
+let transpose_to_index ~dims ~order x =
+  let idx = ref 0 in
+  for bit = order - 1 downto 0 do
+    for i = 0 to dims - 1 do
+      idx := (!idx lsl 1) lor ((x.(i) lsr bit) land 1)
+    done
+  done;
+  !idx
+
+let index_to_transpose ~dims ~order idx =
+  let x = Array.make dims 0 in
+  let pos = ref (dims * order) in
+  for bit = order - 1 downto 0 do
+    for i = 0 to dims - 1 do
+      decr pos;
+      x.(i) <- x.(i) lor (((idx lsr !pos) land 1) lsl bit)
+    done
+  done;
+  x
+
+let axes_to_transpose ~dims ~order x =
+  let n = dims in
+  let m = 1 lsl (order - 1) in
+  (* Inverse undo *)
+  let q = ref m in
+  while !q > 1 do
+    let p = !q - 1 in
+    for i = 0 to n - 1 do
+      if x.(i) land !q <> 0 then x.(0) <- x.(0) lxor p
+      else begin
+        let t = (x.(0) lxor x.(i)) land p in
+        x.(0) <- x.(0) lxor t;
+        x.(i) <- x.(i) lxor t
+      end
+    done;
+    q := !q lsr 1
+  done;
+  (* Gray encode *)
+  for i = 1 to n - 1 do
+    x.(i) <- x.(i) lxor x.(i - 1)
+  done;
+  let t = ref 0 in
+  let q = ref m in
+  while !q > 1 do
+    if x.(n - 1) land !q <> 0 then t := !t lxor (!q - 1);
+    q := !q lsr 1
+  done;
+  for i = 0 to n - 1 do
+    x.(i) <- x.(i) lxor !t
+  done
+
+let transpose_to_axes ~dims ~order x =
+  let n = dims in
+  let nn = 2 lsl (order - 1) in
+  (* Gray decode by H ^ (H/2) *)
+  let t = ref (x.(n - 1) lsr 1) in
+  for i = n - 1 downto 1 do
+    x.(i) <- x.(i) lxor x.(i - 1)
+  done;
+  x.(0) <- x.(0) lxor !t;
+  (* Undo excess work *)
+  let q = ref 2 in
+  while !q <> nn do
+    let p = !q - 1 in
+    for i = n - 1 downto 0 do
+      if x.(i) land !q <> 0 then x.(0) <- x.(0) lxor p
+      else begin
+        let t = (x.(0) lxor x.(i)) land p in
+        x.(0) <- x.(0) lxor t;
+        x.(i) <- x.(i) lxor t
+      end
+    done;
+    q := !q lsl 1
+  done
+
+let encode ~dims ~order coords =
+  ignore (index_bits ~dims ~order);
+  check_coords ~dims ~order coords;
+  if dims = 1 then coords.(0)
+  else begin
+    let x = Array.copy coords in
+    axes_to_transpose ~dims ~order x;
+    transpose_to_index ~dims ~order x
+  end
+
+let decode ~dims ~order idx =
+  let b = index_bits ~dims ~order in
+  if idx < 0 || (b < 62 && idx >= 1 lsl b) then
+    invalid_arg "Hilbert.decode: index out of range";
+  if dims = 1 then [| idx |]
+  else begin
+    let x = index_to_transpose ~dims ~order idx in
+    transpose_to_axes ~dims ~order x;
+    x
+  end
+
+let morton_encode ~dims ~order coords =
+  ignore (index_bits ~dims ~order);
+  check_coords ~dims ~order coords;
+  let idx = ref 0 in
+  for bit = order - 1 downto 0 do
+    for i = 0 to dims - 1 do
+      idx := (!idx lsl 1) lor ((coords.(i) lsr bit) land 1)
+    done
+  done;
+  !idx
+
+let morton_decode ~dims ~order idx =
+  let b = index_bits ~dims ~order in
+  if idx < 0 || (b < 62 && idx >= 1 lsl b) then
+    invalid_arg "Hilbert.morton_decode: index out of range";
+  let x = Array.make dims 0 in
+  let pos = ref b in
+  for bit = order - 1 downto 0 do
+    for i = 0 to dims - 1 do
+      decr pos;
+      x.(i) <- x.(i) lor (((idx lsr !pos) land 1) lsl bit)
+    done
+  done;
+  x
+
+let row_major_encode ~dims ~order coords =
+  ignore (index_bits ~dims ~order);
+  check_coords ~dims ~order coords;
+  Array.fold_left (fun acc c -> (acc lsl order) lor c) 0 coords
+
+let row_major_decode ~dims ~order idx =
+  let b = index_bits ~dims ~order in
+  if idx < 0 || (b < 62 && idx >= 1 lsl b) then
+    invalid_arg "Hilbert.row_major_decode: index out of range";
+  let m = (1 lsl order) - 1 in
+  Array.init dims (fun i -> (idx lsr ((dims - 1 - i) * order)) land m)
+
+let encode_curve curve ~dims ~order coords =
+  match curve with
+  | Hilbert -> encode ~dims ~order coords
+  | Morton -> morton_encode ~dims ~order coords
+  | Row_major -> row_major_encode ~dims ~order coords
+
+let decode_curve curve ~dims ~order idx =
+  match curve with
+  | Hilbert -> decode ~dims ~order idx
+  | Morton -> morton_decode ~dims ~order idx
+  | Row_major -> row_major_decode ~dims ~order idx
+
+let curve_of_string = function
+  | "hilbert" -> Some Hilbert
+  | "morton" | "zorder" | "z-order" -> Some Morton
+  | "rowmajor" | "row-major" | "raw" -> Some Row_major
+  | _ -> None
+
+let curve_to_string = function
+  | Hilbert -> "hilbert"
+  | Morton -> "morton"
+  | Row_major -> "rowmajor"

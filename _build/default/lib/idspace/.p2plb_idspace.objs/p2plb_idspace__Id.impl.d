@@ -1,0 +1,1 @@
+lib/idspace/id.ml: Char Format Int Int64 String

@@ -1,0 +1,1 @@
+lib/idspace/region.ml: Array Format Id List

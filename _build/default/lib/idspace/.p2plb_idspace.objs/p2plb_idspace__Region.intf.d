@@ -1,0 +1,1 @@
+lib/idspace/region.mli: Format Id

@@ -1,0 +1,1 @@
+lib/ktree/ktree.ml: Array Format Hashtbl List P2plb_chord P2plb_idspace

@@ -1,0 +1,1 @@
+lib/ktree/ktree.mli: Hashtbl P2plb_chord P2plb_idspace

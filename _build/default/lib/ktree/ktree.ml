@@ -1,0 +1,260 @@
+module Id = P2plb_idspace.Id
+module Region = P2plb_idspace.Region
+module Dht = P2plb_chord.Dht
+
+type kt_node = {
+  region : Region.t;
+  key : Id.t;
+  depth : int;
+  mutable host : Id.t;
+  mutable children : kt_node option array;
+}
+
+type t = {
+  k : int;
+  mutable root : kt_node;
+  mutable msg : int;
+  mutable last_rounds : int;
+}
+
+let k t = t.k
+let root t = t.root
+let is_leaf n = Array.for_all (fun c -> c = None) n.children
+let messages t = t.msg
+let rounds_last_sweep t = t.last_rounds
+
+let reset_counters t =
+  t.msg <- 0;
+  t.last_rounds <- 0
+
+(* The VS hosting a KT node covers the KT node's whole region: the KT
+   node needs no children (§3.1's leaf test). *)
+let covered_by_host dht n =
+  match Dht.vs_of_id dht n.host with
+  | None -> false
+  | Some v -> Region.covers ~outer:(Dht.region_of_vs dht v) ~inner:n.region
+
+let plant ~route_messages t dht ~from region depth =
+  let key = Region.center region in
+  let host =
+    if route_messages then begin
+      let v, hops = Dht.lookup dht ~from ~key in
+      t.msg <- t.msg + hops;
+      v
+    end
+    else Dht.owner_of_key dht key
+  in
+  { region; key; depth; host = host.Dht.vs_id; children = Array.make t.k None }
+
+(* Grow the subtree under [n] until every branch bottoms out in a
+   covered (leaf) node.  One message per created child. *)
+let rec grow ~route_messages t dht n =
+  if not (covered_by_host dht n) then begin
+    let parts = Region.split n.region t.k in
+    Array.iteri
+      (fun i part ->
+        if (not (Region.is_empty part)) && n.children.(i) = None then begin
+          let child =
+            plant ~route_messages t dht ~from:n.host part (n.depth + 1)
+          in
+          t.msg <- t.msg + 1;
+          n.children.(i) <- Some child;
+          grow ~route_messages t dht child
+        end
+        else
+          match n.children.(i) with
+          | Some child -> grow ~route_messages t dht child
+          | None -> ())
+      parts
+  end
+
+let build ?(route_messages = false) ~k dht =
+  if k < 2 then invalid_arg "Ktree.build: k < 2";
+  if Dht.n_vs dht = 0 then invalid_arg "Ktree.build: empty ring";
+  (* The root is hosted by the VS owning the centre of the whole
+     space, located deterministically (§3.1.1). *)
+  let root_key = Region.center Region.whole in
+  let root_host = Dht.owner_of_key dht root_key in
+  let root =
+    {
+      region = Region.whole;
+      key = root_key;
+      depth = 0;
+      host = root_host.Dht.vs_id;
+      children = Array.make k None;
+    }
+  in
+  let t = { k; root; msg = 1; last_rounds = 0 } in
+  grow ~route_messages t dht root;
+  t
+
+let rec iter_nodes f n =
+  f n;
+  Array.iter (function Some c -> iter_nodes f c | None -> ()) n.children
+
+let depth t =
+  let d = ref 0 in
+  iter_nodes (fun n -> if n.depth > !d then d := n.depth) t.root;
+  !d
+
+let n_nodes t =
+  let c = ref 0 in
+  iter_nodes (fun _ -> incr c) t.root;
+  !c
+
+let n_leaves t =
+  let c = ref 0 in
+  iter_nodes (fun n -> if is_leaf n then incr c) t.root;
+  !c
+
+let leaves t =
+  let acc = ref [] in
+  iter_nodes (fun n -> if is_leaf n then acc := n :: !acc) t.root;
+  List.sort
+    (fun a b -> Id.compare (Region.start a.region) (Region.start b.region))
+    !acc
+
+let refresh ?(route_messages = false) t dht =
+  let rec visit n =
+    (* Re-resolve the hosting VS (the old one may be gone or may no
+       longer own the centre key after churn / VS transfer). *)
+    let new_host =
+      if route_messages then begin
+        let v, hops = Dht.lookup dht ~from:n.host ~key:n.key in
+        t.msg <- t.msg + hops;
+        v
+      end
+      else Dht.owner_of_key dht n.key
+    in
+    if new_host.Dht.vs_id <> n.host then begin
+      n.host <- new_host.Dht.vs_id;
+      (* Re-planting notifies parent and children: at most K+1 msgs. *)
+      t.msg <- t.msg + t.k + 1
+    end;
+    if covered_by_host dht n then begin
+      (* Became a leaf: prune redundant children. *)
+      Array.iteri
+        (fun i c ->
+          match c with
+          | Some _ ->
+            t.msg <- t.msg + 1;
+            n.children.(i) <- None
+          | None -> ())
+        n.children
+    end
+    else begin
+      grow ~route_messages t dht n;
+      Array.iter
+        (function
+          | Some c ->
+            t.msg <- t.msg + 1 (* heartbeat *);
+            visit c
+          | None -> ())
+        n.children
+    end
+  in
+  (* The root's host may have changed; it is re-located determin-
+     istically at the centre of the whole space. *)
+  visit t.root
+
+let check_consistent t dht =
+  let error = ref None in
+  let fail fmt = Format.kasprintf (fun s -> if !error = None then error := Some s) fmt in
+  if not (Region.is_whole t.root.region) then fail "root region is not the whole ring";
+  let seen_leaf_vs = Hashtbl.create 256 in
+  let rec visit n =
+    if n.key <> Region.center n.region then
+      fail "KT node key %a is not its region centre" Id.pp n.key;
+    (match Dht.vs_of_id dht n.host with
+    | None -> fail "KT node at %a planted in missing VS %a" Id.pp n.key Id.pp n.host
+    | Some v ->
+      let owner = Dht.owner_of_key dht n.key in
+      if owner.Dht.vs_id <> v.Dht.vs_id then
+        fail "KT node at %a planted in VS %a but key owned by %a" Id.pp n.key
+          Id.pp n.host Id.pp owner.Dht.vs_id;
+      let leaf = is_leaf n in
+      let cov = Region.covers ~outer:(Dht.region_of_vs dht v) ~inner:n.region in
+      if leaf && not cov then
+        fail "leaf at %a not covered by its hosting VS" Id.pp n.key;
+      if (not leaf) && cov then
+        fail "covered node at %a still has children" Id.pp n.key;
+      if leaf then Hashtbl.replace seen_leaf_vs n.host ());
+    if not (is_leaf n) then begin
+      let parts = Region.split n.region t.k in
+      Array.iteri
+        (fun i c ->
+          match c with
+          | Some child ->
+            if not (Region.equal child.region parts.(i)) then
+              fail "child %d of node at %a has wrong region" i Id.pp n.key;
+            if child.depth <> n.depth + 1 then
+              fail "child depth mismatch under %a" Id.pp n.key;
+            visit child
+          | None ->
+            if not (Region.is_empty parts.(i)) then
+              fail "missing child %d (non-empty region) under %a" i Id.pp n.key)
+        n.children
+    end
+  in
+  visit t.root;
+  (* Every VS must host at least one leaf (§3.1). *)
+  Dht.fold_vs dht ~init:() ~f:(fun () v ->
+      if not (Hashtbl.mem seen_leaf_vs v.Dht.vs_id) then
+        fail "VS %a hosts no KT leaf" Id.pp v.Dht.vs_id);
+  match !error with None -> Ok () | Some e -> Error e
+
+let fold_nodes t ~init ~f =
+  let acc = ref init in
+  iter_nodes (fun n -> acc := f !acc n) t.root;
+  !acc
+
+let leaf_assignment t =
+  let table : (Id.t, kt_node) Hashtbl.t = Hashtbl.create 256 in
+  iter_nodes
+    (fun n ->
+      if is_leaf n then
+        match Hashtbl.find_opt table n.host with
+        | Some existing when existing.depth >= n.depth -> ()
+        | _ -> Hashtbl.replace table n.host n)
+    t.root;
+  table
+
+let sweep_up t ~at_leaf ~combine =
+  let max_depth = ref 0 in
+  let rec visit n =
+    if n.depth > !max_depth then max_depth := n.depth;
+    if is_leaf n then at_leaf n
+    else begin
+      let child_results =
+        Array.fold_left
+          (fun acc c ->
+            match c with
+            | Some child ->
+              t.msg <- t.msg + 1;
+              visit child :: acc
+            | None -> acc)
+          [] n.children
+      in
+      combine n (List.rev child_results)
+    end
+  in
+  let result = visit t.root in
+  t.last_rounds <- !max_depth + 1;
+  result
+
+let sweep_down t ~at_root ~split ~at_leaf =
+  let max_depth = ref 0 in
+  let rec visit n value =
+    if n.depth > !max_depth then max_depth := n.depth;
+    if is_leaf n then at_leaf n value
+    else
+      Array.iter
+        (function
+          | Some child ->
+            t.msg <- t.msg + 1;
+            visit child (split child value)
+          | None -> ())
+        n.children
+  in
+  visit t.root at_root;
+  t.last_rounds <- !max_depth + 1

@@ -1,0 +1,102 @@
+module Id = P2plb_idspace.Id
+module Region = P2plb_idspace.Region
+module Dht = P2plb_chord.Dht
+
+(** The self-organised, fully distributed K-nary tree built on top of
+    the DHT (paper §3.1).
+
+    Every KT node is responsible for a region of the identifier space
+    (the root for the whole ring) and is {e planted} in the virtual
+    server owning the centre point of that region.  A KT node whose
+    region is completely covered by its hosting VS's region is a leaf;
+    otherwise its region splits into K equal parts, one per child.
+    This guarantees at least one KT leaf is planted in every VS.
+
+    The tree is soft state: {!refresh} re-runs the periodic grow /
+    prune / re-plant checks against the current ring, which is how the
+    tree self-repairs after joins, leaves, crashes and VS transfers.
+
+    Message accounting: child-creation plants cost a DHT lookup
+    (counted in overlay hops when [route_messages] is on) plus one
+    message; refresh heartbeats cost one message per parent–child
+    edge; sweeps cost one message per edge traversed. *)
+
+type kt_node = private {
+  region : Region.t;
+  key : Id.t;  (** centre of [region]: the DHT key it is planted at *)
+  depth : int; (** root = 0 *)
+  mutable host : Id.t;  (** id of the hosting virtual server *)
+  mutable children : kt_node option array;  (** length K *)
+}
+
+type t
+
+val build : ?route_messages:bool -> k:int -> 'a Dht.t -> t
+(** Constructs the tree top-down against the current ring.  Requires a
+    non-empty ring.  [route_messages] (default false) additionally
+    routes each planting lookup through Chord to charge realistic hop
+    counts to the message counter. *)
+
+val k : t -> int
+val root : t -> kt_node
+val is_leaf : kt_node -> bool
+
+val depth : t -> int
+(** Maximum depth over all current KT nodes — the bound on
+    aggregation / dissemination rounds, O(log_K N). *)
+
+val n_nodes : t -> int
+val n_leaves : t -> int
+
+val leaves : t -> kt_node list
+(** In identifier-space order. *)
+
+val refresh : ?route_messages:bool -> t -> 'a Dht.t -> unit
+(** One periodic maintenance pass: re-resolve every KT node's hosting
+    VS, prune children of nodes that became leaves, grow children that
+    became necessary.  Idempotent once the ring is stable. *)
+
+val check_consistent : t -> 'a Dht.t -> (unit, string) result
+(** Structural invariants: root covers the ring, children partition
+    their parent's region, every KT node is planted at its region's
+    centre in the correct VS, leaves are exactly the covered nodes,
+    and every VS hosts at least one leaf.  Used by tests. *)
+
+val fold_nodes : t -> init:'a -> f:('a -> kt_node -> 'a) -> 'a
+(** Over all KT nodes, preorder. *)
+
+val leaf_assignment : t -> (Id.t, kt_node) Hashtbl.t
+(** For every VS (keyed by VS id), the designated leaf it reports
+    through — the deepest-first leaf planted in it.  A VS hosting
+    several leaves reports through exactly one to avoid redundant
+    information (§3.2, §4.3). *)
+
+(** {1 Sweeps}
+
+    The communication patterns of LBI aggregation (bottom-up),
+    dissemination (top-down) and VSA (bottom-up).  Each traversed edge
+    counts as one message; the number of rounds equals the tree depth. *)
+
+val sweep_up :
+  t -> at_leaf:(kt_node -> 'a) -> combine:(kt_node -> 'a list -> 'a) -> 'a
+(** [combine] is applied at every internal node to the results of its
+    (present) children, deepest first; returns the root's value. *)
+
+val sweep_down :
+  t ->
+  at_root:'a ->
+  split:(kt_node -> 'a -> 'a) ->
+  at_leaf:(kt_node -> 'a -> unit) ->
+  unit
+(** Pushes a value down from the root; [split] transforms the value as
+    it crosses each edge (identity for LBI dissemination). *)
+
+(** {1 Cost accounting} *)
+
+val messages : t -> int
+(** Messages spent so far on building, refreshing and sweeping. *)
+
+val rounds_last_sweep : t -> int
+(** Rounds (tree levels traversed) of the most recent sweep. *)
+
+val reset_counters : t -> unit

@@ -1,0 +1,1 @@
+lib/landmark/landmark.ml: Array P2plb_hilbert P2plb_idspace P2plb_prng P2plb_topology

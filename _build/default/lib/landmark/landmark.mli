@@ -1,0 +1,63 @@
+module Prng = P2plb_prng.Prng
+module Id = P2plb_idspace.Id
+module Graph = P2plb_topology.Graph
+module Hilbert = P2plb_hilbert.Hilbert
+
+(** Landmark clustering and proximity-preserving DHT keys (paper §4).
+
+    Each node measures its distance to [m] landmark nodes (the paper
+    uses [m = 15]); the resulting {e landmark vector} positions the
+    node in an [m]-dimensional landmark space.  The landmark space is
+    divided into [2{^(m * order)}] grid cells ([order] bits per axis)
+    numbered along a Hilbert curve; a node's {e Hilbert number} is the
+    curve index of its cell, and physically close nodes — having
+    similar landmark vectors — get close Hilbert numbers.  Scaled into
+    the 32-bit identifier space, the Hilbert number becomes the DHT
+    key under which the node publishes its VSA information. *)
+
+type space
+(** Landmark positions plus precomputed distances from every landmark
+    to every underlay vertex. *)
+
+val select_random : Prng.t -> Graph.t -> m:int -> int array
+(** [m] distinct landmark vertices chosen uniformly. *)
+
+val select_spread : Prng.t -> Graph.t -> m:int -> int array
+(** Farthest-point heuristic: a random first landmark, then each next
+    landmark maximises its distance to those already chosen.  Gives
+    better-conditioned landmark spaces on clustered topologies. *)
+
+val make_space : Graph.t -> landmarks:int array -> space
+(** Runs one Dijkstra per landmark. *)
+
+val m : space -> int
+val landmarks : space -> int array
+
+val vector : space -> int -> int array
+(** [vector s v] is the landmark vector of underlay vertex [v]:
+    distances (latency units) to each landmark, in landmark order. *)
+
+val max_distance : space -> int
+(** Largest finite landmark–vertex distance; defines grid scaling. *)
+
+type binning =
+  | Equal_width  (** cells of equal size over [\[0, max_distance\]] *)
+  | Quantile
+      (** cell boundaries at per-axis distance quantiles, computed over
+          all vertices: every cell holds roughly the same number of
+          vertices, so resolution concentrates where nodes actually
+          differ *)
+
+val grid_coords : ?binning:binning -> space -> order:int -> int -> int array
+(** Landmark vector quantised to [order]-bit grid coordinates per
+    axis (default {!Equal_width}). *)
+
+val hilbert_number :
+  ?curve:Hilbert.curve -> ?binning:binning -> space -> order:int -> int -> int
+(** The curve index of the vertex's grid cell (default curve:
+    {!Hilbert.Hilbert}).  Requires [m * order <= 62]. *)
+
+val dht_key :
+  ?curve:Hilbert.curve -> ?binning:binning -> space -> order:int -> int -> Id.t
+(** The Hilbert number scaled onto the 32-bit ring: close Hilbert
+    numbers map to close identifiers. *)

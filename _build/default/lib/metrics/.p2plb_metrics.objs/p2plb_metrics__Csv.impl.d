@@ -1,0 +1,1 @@
+lib/metrics/csv.ml: Buffer Fun Histogram List Printf String

@@ -1,0 +1,37 @@
+(** Weighted histograms over integer bins and their CDFs.
+
+    Figures 7–8 of the paper plot "percentage of total moved load"
+    against "distance of virtual-server transfer in hops": that is a
+    weighted histogram (weight = moved load, bin = hop distance) and
+    its CDF.  Bins here are non-negative integers. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> bin:int -> weight:float -> unit
+(** Accumulates [weight] into [bin].  [bin >= 0], [weight >= 0]. *)
+
+val total_weight : t -> float
+
+val max_bin : t -> int
+(** Largest bin with non-zero weight; [-1] if the histogram is empty. *)
+
+val weight_at : t -> int -> float
+
+val fraction_at : t -> int -> float
+(** Share of total weight in one bin.  0 if the histogram is empty. *)
+
+val cumulative_fraction : t -> int -> float
+(** Share of total weight in bins [<= b] — the CDF the paper plots. *)
+
+val bins : t -> (int * float) list
+(** Non-empty bins in increasing order with their weights. *)
+
+val to_fractions : t -> (int * float) list
+val to_cdf : t -> (int * float) list
+(** CDF sampled at each non-empty bin. *)
+
+val merge : t -> t -> t
+(** Pointwise sum; inputs unchanged.  Used to aggregate the 10 graph
+    instances per topology, as the paper does. *)

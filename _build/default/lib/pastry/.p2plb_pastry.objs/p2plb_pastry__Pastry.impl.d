@@ -1,0 +1,1 @@
+lib/pastry/pastry.ml: Int List P2plb_idspace Seq Set

@@ -1,0 +1,1 @@
+lib/pastry/pastry.mli: P2plb_idspace

@@ -1,0 +1,164 @@
+module Id = P2plb_idspace.Id
+module S = Set.Make (Int)
+
+type t = { mutable members : S.t }
+
+let digit_bits = 4
+let n_digits = Id.bits / digit_bits
+let leaf_set_half = 8
+
+let create () = { members = S.empty }
+
+let add_node t id =
+  if S.mem id t.members then false
+  else begin
+    t.members <- S.add id t.members;
+    true
+  end
+
+let remove_node t id =
+  if S.mem id t.members then begin
+    t.members <- S.remove id t.members;
+    true
+  end
+  else false
+
+let mem t id = S.mem id t.members
+let n_nodes t = S.cardinal t.members
+let nodes t = S.elements t.members
+
+(* Numeric ring distance: the shorter way around. *)
+let ring_dist a b =
+  let d = Id.distance_cw a b in
+  min d (Id.space_size - d)
+
+let successor t k =
+  match S.find_first_opt (fun x -> x >= k) t.members with
+  | Some x -> x
+  | None -> S.min_elt t.members
+
+let predecessor t k =
+  match S.find_last_opt (fun x -> x <= k) t.members with
+  | Some x -> x
+  | None -> S.max_elt t.members
+
+let owner_of_key t key =
+  if S.is_empty t.members then invalid_arg "Pastry.owner_of_key: empty overlay";
+  let s = successor t key and p = predecessor t key in
+  let ds = ring_dist key s and dp = ring_dist key p in
+  if ds <= dp then s else p
+
+let digit id pos =
+  (* digit 0 is the most significant *)
+  (id lsr (Id.bits - ((pos + 1) * digit_bits))) land ((1 lsl digit_bits) - 1)
+
+let shared_prefix_digits a b =
+  let rec go pos =
+    if pos >= n_digits then n_digits
+    else if digit a pos <> digit b pos then pos
+    else go (pos + 1)
+  in
+  go 0
+
+let leaf_set t node =
+  if not (S.mem node t.members) then invalid_arg "Pastry.leaf_set: not a member";
+  let n = S.cardinal t.members - 1 in
+  let want_side = min leaf_set_half ((n + 1) / 2) in
+  let collect step =
+    let rec go cur acc remaining =
+      if remaining = 0 then acc
+      else
+        let next = step cur in
+        if next = node then acc else go next (next :: acc) (remaining - 1)
+    in
+    go node [] want_side
+  in
+  let right = collect (fun cur -> successor t (Id.add cur 1)) in
+  let left = collect (fun cur -> predecessor t (Id.sub cur 1)) in
+  List.sort_uniq compare (List.rev_append right left)
+
+let routing_entry t node ~row ~digit:d =
+  if row < 0 || row >= n_digits then invalid_arg "Pastry.routing_entry: bad row";
+  if d < 0 || d >= 1 lsl digit_bits then
+    invalid_arg "Pastry.routing_entry: bad digit";
+  (* ids sharing node's first [row] digits with digit [row] = d form a
+     contiguous range of the id space *)
+  let width = Id.bits - ((row + 1) * digit_bits) in
+  let prefix_mask = lnot ((1 lsl (Id.bits - (row * digit_bits))) - 1) in
+  let base = node land prefix_mask land ((1 lsl Id.bits) - 1) in
+  let lo = base lor (d lsl width) in
+  let hi = lo + (1 lsl width) in
+  (* numerically closest member in [lo, hi) to [node] *)
+  let best = ref None in
+  let rec scan seq =
+    match seq () with
+    | Seq.Nil -> ()
+    | Seq.Cons (x, rest) ->
+      if x < hi then begin
+        if x <> node then begin
+          match !best with
+          | Some b when ring_dist node b <= ring_dist node x -> ()
+          | _ -> best := Some x
+        end;
+        scan rest
+      end
+  in
+  scan (S.to_seq_from lo t.members);
+  !best
+
+let route t ~from ~key =
+  if not (S.mem from t.members) then invalid_arg "Pastry.route: unknown source";
+  let owner = owner_of_key t key in
+  let max_hops = 4 * n_digits in
+  let rec step cur hops =
+    if cur = owner then (owner, hops)
+    else if hops > max_hops then (owner, hops + 1) (* give up: direct *)
+    else begin
+      let leaves = leaf_set t cur in
+      if List.mem owner leaves then (owner, hops + 1)
+      else begin
+        let row = shared_prefix_digits cur key in
+        let next =
+          match routing_entry t cur ~row ~digit:(digit key row) with
+          | Some n -> Some n
+          | None ->
+            (* rare case: any known node strictly numerically closer
+               to the key with at least the same prefix length *)
+            List.fold_left
+              (fun best c ->
+                if
+                  shared_prefix_digits c key >= row
+                  && ring_dist c key < ring_dist cur key
+                then
+                  match best with
+                  | Some b when ring_dist b key <= ring_dist c key -> best
+                  | _ -> Some c
+                else best)
+              None leaves
+        in
+        match next with
+        | Some n -> step n (hops + 1)
+        | None -> (owner, hops + 1) (* last resort: deliver directly *)
+      end
+    end
+  in
+  step from 0
+
+let route_path t ~from ~key =
+  if not (S.mem from t.members) then invalid_arg "Pastry.route_path: unknown source";
+  let owner = owner_of_key t key in
+  let max_hops = 4 * n_digits in
+  let rec step cur acc hops =
+    if cur = owner || hops > max_hops then List.rev (cur :: acc)
+    else begin
+      let leaves = leaf_set t cur in
+      if List.mem owner leaves then List.rev (owner :: cur :: acc)
+      else begin
+        let row = shared_prefix_digits cur key in
+        match routing_entry t cur ~row ~digit:(digit key row) with
+        | Some n -> step n (cur :: acc) (hops + 1)
+        | None -> List.rev (owner :: cur :: acc)
+      end
+    end
+  in
+  step from [] 0

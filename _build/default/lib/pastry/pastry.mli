@@ -1,0 +1,67 @@
+module Id = P2plb_idspace.Id
+
+(** A Pastry-style prefix-routing overlay on the 32-bit id space.
+
+    The paper notes (§4.3) that its load-balancing techniques "are
+    applicable or easily adapted to other DHTs such as Pastry and
+    Tapestry".  This module substantiates the claim's substrate side:
+    a Pastry overlay with per-node leaf sets and prefix routing
+    tables over the same identifier space, with message routing that
+    resolves one digit per hop — O(log_{2^b} N) — and key ownership
+    by numerical closeness (rather than Chord's successor rule).
+
+    Routing state is derived from the current membership (the
+    correct-state model, matching {!P2plb_chord.Dht}'s router); the
+    interesting dynamics here are the structural ones: digit
+    resolution, leaf-set shortcuts, and ownership semantics. *)
+
+type t
+
+val digit_bits : int
+(** b = 4: hexadecimal digits, 8 per identifier. *)
+
+val n_digits : int
+(** 32 / b = 8. *)
+
+val leaf_set_half : int
+(** 8 nodes on each side in the leaf set. *)
+
+val create : unit -> t
+
+val add_node : t -> Id.t -> bool
+(** [false] if the id is already present. *)
+
+val remove_node : t -> Id.t -> bool
+val mem : t -> Id.t -> bool
+val n_nodes : t -> int
+val nodes : t -> Id.t list
+(** In increasing id order. *)
+
+val owner_of_key : t -> Id.t -> Id.t
+(** The numerically closest node to the key (ring distance, ties to
+    the clockwise side) — Pastry's ownership rule.  Raises
+    [Invalid_argument] when empty. *)
+
+val shared_prefix_digits : Id.t -> Id.t -> int
+(** Number of leading base-[2{^b}] digits the two ids share. *)
+
+val leaf_set : t -> Id.t -> Id.t list
+(** Up to [2 * leaf_set_half] nearest ring neighbours of a member
+    node (excluding itself). *)
+
+val routing_entry : t -> Id.t -> row:int -> digit:int -> Id.t option
+(** The routing-table entry of a member node: a node sharing the
+    first [row] digits, whose digit [row] equals [digit]
+    (numerically closest such node; [None] if none exists).
+    Entry for the node's own digit at each row is itself ([None]
+    here since it is never routed to). *)
+
+val route : t -> from:Id.t -> key:Id.t -> Id.t * int
+(** Routes a message: each hop either reaches the owner via the leaf
+    set or increases the shared prefix length via the routing table
+    (falling back to a numerically-closer same-prefix node).
+    Returns the owner and the hop count.  The prefix invariant bounds
+    hops by [n_digits + leaf hops]. *)
+
+val route_path : t -> from:Id.t -> key:Id.t -> Id.t list
+(** The node sequence of {!route}, starting at [from]. *)

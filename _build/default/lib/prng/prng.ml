@@ -1,0 +1,91 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  (* SplitMix64 finaliser: two xor-shift-multiply rounds. *)
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create ~seed = { state = mix64 (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = bits64 t in
+  { state = s }
+
+let unit_float t =
+  (* 53 high bits of the raw output, scaled to [0, 1). *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. 0x1p-53
+
+let float t bound = unit_float t *. bound
+
+let int64 t bound =
+  if Int64.compare bound 0L <= 0 then invalid_arg "Prng.int64: bound <= 0";
+  (* Rejection sampling on the top range multiple of [bound]. *)
+  let rec go () =
+    let raw = Int64.shift_right_logical (bits64 t) 1 in
+    let v = Int64.rem raw bound in
+    if Int64.(compare (sub raw v) (sub (sub max_int bound) 1L)) > 0 then go ()
+    else v
+  in
+  go ()
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound <= 0";
+  Int64.to_int (int64 t (Int64.of_int bound))
+
+let int_in t ~lo ~hi =
+  if lo > hi then invalid_arg "Prng.int_in: lo > hi";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.compare (Int64.logand (bits64 t) 1L) 0L <> 0
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_distinct t ~n ~universe =
+  if n > universe then invalid_arg "Prng.sample_distinct: n > universe";
+  if n < 0 then invalid_arg "Prng.sample_distinct: n < 0";
+  (* For small samples use a hash set of picks; for dense samples use a
+     partial Fisher–Yates over the whole universe. *)
+  if n * 4 <= universe then begin
+    let seen = Hashtbl.create (2 * n) in
+    let out = Array.make n 0 in
+    let filled = ref 0 in
+    while !filled < n do
+      let v = int t universe in
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.add seen v ();
+        out.(!filled) <- v;
+        incr filled
+      end
+    done;
+    out
+  end
+  else begin
+    let a = Array.init universe (fun i -> i) in
+    for i = 0 to n - 1 do
+      let j = int_in t ~lo:i ~hi:(universe - 1) in
+      let tmp = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- tmp
+    done;
+    Array.sub a 0 n
+  end
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Prng.choose: empty array";
+  a.(int t (Array.length a))

@@ -1,0 +1,127 @@
+type handle = { mutable cancelled : bool }
+
+type event = {
+  time : float;
+  seq : int; (* tie-break: schedule order *)
+  action : t -> unit;
+  h : handle;
+}
+
+and t = {
+  mutable clock : float;
+  mutable heap : event array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () =
+  {
+    clock = 0.0;
+    heap = Array.make 64 { time = 0.0; seq = 0; action = ignore; h = { cancelled = true } };
+    size = 0;
+    next_seq = 0;
+  }
+
+let now t = t.clock
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let push t ev =
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.size) ev in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  t.heap.(t.size) <- ev;
+  t.size <- t.size + 1;
+  let i = ref (t.size - 1) in
+  while !i > 0 && before t.heap.(!i) t.heap.((!i - 1) / 2) do
+    let p = (!i - 1) / 2 in
+    let tmp = t.heap.(!i) in
+    t.heap.(!i) <- t.heap.(p);
+    t.heap.(p) <- tmp;
+    i := p
+  done
+
+let pop t =
+  assert (t.size > 0);
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  t.heap.(0) <- t.heap.(t.size);
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+    if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+    if !smallest <> !i then begin
+      let tmp = t.heap.(!i) in
+      t.heap.(!i) <- t.heap.(!smallest);
+      t.heap.(!smallest) <- tmp;
+      i := !smallest
+    end
+    else continue := false
+  done;
+  top
+
+let schedule_at t ~time action =
+  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  let h = { cancelled = false } in
+  let ev = { time; seq = t.next_seq; action; h } in
+  t.next_seq <- t.next_seq + 1;
+  push t ev;
+  h
+
+let schedule t ~delay action =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) action
+
+let schedule_periodic t ~interval ?phase action =
+  if interval <= 0.0 then invalid_arg "Engine.schedule_periodic: interval <= 0";
+  let phase = match phase with Some p -> p | None -> interval in
+  if phase < 0.0 then invalid_arg "Engine.schedule_periodic: negative phase";
+  let h = { cancelled = false } in
+  let rec arm time =
+    let ev =
+      { time; seq = t.next_seq; action = step_action; h }
+    in
+    t.next_seq <- t.next_seq + 1;
+    push t ev
+  and step_action engine =
+    action engine;
+    if not h.cancelled then arm (engine.clock +. interval)
+  in
+  arm (t.clock +. phase);
+  h
+
+let cancel h = h.cancelled <- true
+
+let pending t = t.size
+
+let step t =
+  if t.size = 0 then false
+  else begin
+    let ev = pop t in
+    if not ev.h.cancelled then begin
+      t.clock <- max t.clock ev.time;
+      ev.action t
+    end;
+    true
+  end
+
+let run_until t ~time =
+  let continue = ref true in
+  while !continue do
+    if t.size = 0 then continue := false
+    else if t.heap.(0).time > time then continue := false
+    else ignore (step t)
+  done;
+  t.clock <- max t.clock time
+
+let run ?(max_events = max_int) t =
+  let processed = ref 0 in
+  while t.size > 0 && !processed < max_events do
+    if step t then incr processed
+  done;
+  !processed

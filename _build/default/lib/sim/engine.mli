@@ -1,0 +1,47 @@
+(** A small discrete-event simulation engine.
+
+    Drives the time-based behaviours of the system: the K-nary tree's
+    periodic grow/prune checks and heartbeats, churn injection, and
+    round-counting experiments.  Events at equal timestamps fire in
+    scheduling order (deterministic). *)
+
+type t
+
+type handle
+(** A scheduled event, usable for cancellation. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulated time; starts at 0. *)
+
+val schedule : t -> delay:float -> (t -> unit) -> handle
+(** [schedule t ~delay f] fires [f] at [now t +. delay].
+    [delay >= 0]. *)
+
+val schedule_at : t -> time:float -> (t -> unit) -> handle
+(** Absolute-time variant; [time >= now t]. *)
+
+val schedule_periodic : t -> interval:float -> ?phase:float -> (t -> unit) -> handle
+(** Fires first at [now + phase] (default [interval]) and then every
+    [interval] until cancelled.  [interval > 0]. *)
+
+val cancel : handle -> unit
+(** Cancelling an already-fired or cancelled event is a no-op.
+    Cancelling a periodic event stops all future firings. *)
+
+val pending : t -> int
+(** Events still queued (cancelled ones may be counted until they are
+    discarded lazily). *)
+
+val run_until : t -> time:float -> unit
+(** Processes every event with timestamp [<= time], then advances the
+    clock to [time]. *)
+
+val step : t -> bool
+(** Processes the single next event; [false] when the queue is empty. *)
+
+val run : ?max_events:int -> t -> int
+(** Processes events until the queue drains (or [max_events] is hit,
+    protecting against self-perpetuating periodics); returns the
+    number of events processed. *)

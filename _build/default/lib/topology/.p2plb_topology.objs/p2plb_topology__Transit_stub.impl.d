@@ -1,0 +1,1 @@
+lib/topology/transit_stub.ml: Array Graph Hashtbl List P2plb_prng

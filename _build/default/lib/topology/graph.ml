@@ -1,0 +1,163 @@
+type builder = {
+  bn : int;
+  adj : (int * int) list array; (* neighbor, weight *)
+  edges : (int * int, unit) Hashtbl.t; (* canonical (min, max) pairs *)
+  mutable m : int;
+}
+
+type t = {
+  n : int;
+  nbr : (int * int) array array;
+  m_frozen : int;
+}
+
+let create_builder ~n =
+  if n < 0 then invalid_arg "Graph.create_builder: n < 0";
+  { bn = n; adj = Array.make n []; edges = Hashtbl.create (4 * n); m = 0 }
+
+let canon u v = if u < v then (u, v) else (v, u)
+
+let has_edge b u v = Hashtbl.mem b.edges (canon u v)
+
+let add_edge b u v ~weight =
+  if u < 0 || u >= b.bn || v < 0 || v >= b.bn then
+    invalid_arg "Graph.add_edge: vertex out of range";
+  if u = v then invalid_arg "Graph.add_edge: self loop";
+  if weight < 0 then invalid_arg "Graph.add_edge: negative weight";
+  if not (has_edge b u v) then begin
+    Hashtbl.add b.edges (canon u v) ();
+    b.adj.(u) <- (v, weight) :: b.adj.(u);
+    b.adj.(v) <- (u, weight) :: b.adj.(v);
+    b.m <- b.m + 1
+  end
+
+let freeze b =
+  { n = b.bn; nbr = Array.map Array.of_list b.adj; m_frozen = b.m }
+
+let n_vertices g = g.n
+let n_edges g = g.m_frozen
+let neighbors g v = g.nbr.(v)
+let degree g v = Array.length g.nbr.(v)
+
+(* Binary min-heap of (dist, vertex), array-based. *)
+module Heap = struct
+  type t = {
+    mutable a : (int * int) array;
+    mutable size : int;
+  }
+
+  let create () = { a = Array.make 64 (0, 0); size = 0 }
+
+  let swap h i j =
+    let tmp = h.a.(i) in
+    h.a.(i) <- h.a.(j);
+    h.a.(j) <- tmp
+
+  let push h x =
+    if h.size = Array.length h.a then begin
+      let bigger = Array.make (2 * h.size) (0, 0) in
+      Array.blit h.a 0 bigger 0 h.size;
+      h.a <- bigger
+    end;
+    h.a.(h.size) <- x;
+    h.size <- h.size + 1;
+    let i = ref (h.size - 1) in
+    while !i > 0 && fst h.a.((!i - 1) / 2) > fst h.a.(!i) do
+      swap h ((!i - 1) / 2) !i;
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    if h.size = 0 then invalid_arg "Heap.pop: empty";
+    let top = h.a.(0) in
+    h.size <- h.size - 1;
+    h.a.(0) <- h.a.(h.size);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && fst h.a.(l) < fst h.a.(!smallest) then smallest := l;
+      if r < h.size && fst h.a.(r) < fst h.a.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        swap h !i !smallest;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    top
+
+  let is_empty h = h.size = 0
+end
+
+let dijkstra g ~src =
+  if src < 0 || src >= g.n then invalid_arg "Graph.dijkstra: bad src";
+  let dist = Array.make g.n max_int in
+  dist.(src) <- 0;
+  let heap = Heap.create () in
+  Heap.push heap (0, src);
+  while not (Heap.is_empty heap) do
+    let d, u = Heap.pop heap in
+    if d = dist.(u) then
+      Array.iter
+        (fun (v, w) ->
+          let nd = d + w in
+          if nd < dist.(v) then begin
+            dist.(v) <- nd;
+            Heap.push heap (nd, v)
+          end)
+        g.nbr.(u)
+  done;
+  dist
+
+let distance g ~src ~dst = (dijkstra g ~src).(dst)
+
+let is_connected g =
+  if g.n = 0 then true
+  else begin
+    let seen = Array.make g.n false in
+    let stack = ref [ 0 ] in
+    seen.(0) <- true;
+    let count = ref 1 in
+    let rec walk () =
+      match !stack with
+      | [] -> ()
+      | u :: rest ->
+        stack := rest;
+        Array.iter
+          (fun (v, _) ->
+            if not seen.(v) then begin
+              seen.(v) <- true;
+              incr count;
+              stack := v :: !stack
+            end)
+          g.nbr.(u);
+        walk ()
+    in
+    walk ();
+    !count = g.n
+  end
+
+module Oracle = struct
+  type graph = t
+
+  type t = {
+    g : graph;
+    cache : (int, int array) Hashtbl.t;
+  }
+
+  let create g = { g; cache = Hashtbl.create 64 }
+
+  let distance o ~src ~dst =
+    let dists =
+      match Hashtbl.find_opt o.cache src with
+      | Some d -> d
+      | None ->
+        let d = dijkstra o.g ~src in
+        Hashtbl.add o.cache src d;
+        d
+    in
+    dists.(dst)
+
+  let sources_computed o = Hashtbl.length o.cache
+end

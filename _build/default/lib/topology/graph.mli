@@ -1,0 +1,50 @@
+(** Undirected weighted graphs and shortest paths.
+
+    The underlay Internet topology.  Edge weights are latency units:
+    the paper counts an interdomain hop as 3 units and an intradomain
+    hop as 1 unit (§5.1). *)
+
+type t
+
+type builder
+
+val create_builder : n:int -> builder
+(** A mutable builder for a graph on vertices [0 .. n-1]. *)
+
+val add_edge : builder -> int -> int -> weight:int -> unit
+(** Adds an undirected edge ([weight >= 0]; zero-latency links are
+    allowed).  Duplicate edges are ignored (the first weight wins);
+    self-loops are rejected. *)
+
+val has_edge : builder -> int -> int -> bool
+
+val freeze : builder -> t
+(** Immutable adjacency-array form. *)
+
+val n_vertices : t -> int
+val n_edges : t -> int
+
+val neighbors : t -> int -> (int * int) array
+(** [(vertex, weight)] pairs. *)
+
+val degree : t -> int -> int
+
+val dijkstra : t -> src:int -> int array
+(** Single-source shortest path distances in latency units.
+    Unreachable vertices get [max_int]. *)
+
+val distance : t -> src:int -> dst:int -> int
+(** Convenience single-pair distance (runs a full Dijkstra). *)
+
+val is_connected : t -> bool
+
+(** Memoising distance oracle: one Dijkstra per distinct source,
+    cached.  Use when querying many pairs grouped by source. *)
+module Oracle : sig
+  type graph := t
+  type t
+
+  val create : graph -> t
+  val distance : t -> src:int -> dst:int -> int
+  val sources_computed : t -> int
+end

@@ -1,0 +1,1 @@
+lib/workload/trace.mli: P2plb_chord P2plb_prng

@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Array P2plb_chord P2plb_idspace P2plb_prng

@@ -1,0 +1,1 @@
+lib/workload/workload.mli: P2plb_chord P2plb_prng

@@ -1,0 +1,40 @@
+module Prng = P2plb_prng.Prng
+module Dht = P2plb_chord.Dht
+module Store = P2plb_chord.Store
+
+(** A time-varying storage workload: per epoch, a Poisson-distributed
+    batch of objects arrives (exponential sizes scaled by Zipf
+    popularity) and each live object departs independently with a
+    fixed probability.  Drives the load-drift experiments and the
+    storage examples with something closer to a live system than a
+    one-shot load assignment. *)
+
+type config = {
+  arrivals_per_epoch : float;  (** Poisson mean *)
+  departure_prob : float;      (** per live object per epoch, in [0,1] *)
+  mean_size : float;           (** exponential object size *)
+  zipf_catalogue : int;        (** popularity ranks *)
+  zipf_exponent : float;
+}
+
+val default : config
+(** 200 arrivals/epoch, 5% departures, mean size 4.0, Zipf(0.9) over
+    1000 ranks. *)
+
+type t
+
+val create : seed:int -> config -> t
+
+val live_objects : t -> int
+
+type epoch_stats = {
+  arrived : int;
+  departed : int;
+  bytes_in : float;
+  bytes_out : float;
+}
+
+val epoch : t -> 'a Dht.t -> Store.t -> epoch_stats
+(** Applies one epoch of arrivals and departures to the store, then
+    refreshes every VS's load from its stored bytes
+    ({!Store.apply_primary_loads}). *)

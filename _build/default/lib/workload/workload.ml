@@ -1,0 +1,53 @@
+module Prng = P2plb_prng.Prng
+module Dist = P2plb_prng.Dist
+module Id = P2plb_idspace.Id
+module Region = P2plb_idspace.Region
+module Dht = P2plb_chord.Dht
+
+type dist =
+  | Gaussian of { sigma : float }
+  | Pareto of { shape : float }
+
+type config = { dist : dist; mu : float }
+
+let default_gaussian = { dist = Gaussian { sigma = 0.05 }; mu = 1.0 }
+let default_pareto = { dist = Pareto { shape = 1.5 }; mu = 1.0 }
+
+let vs_load rng config ~fraction =
+  if fraction < 0.0 || fraction > 1.0 then
+    invalid_arg "Workload.vs_load: fraction out of [0,1]";
+  if fraction = 0.0 then 0.0
+  else
+    match config.dist with
+    | Gaussian { sigma } ->
+      Dist.normal_pos rng ~mean:(config.mu *. fraction)
+        ~stddev:(sigma *. sqrt fraction)
+    | Pareto { shape } ->
+      Dist.pareto_mean rng ~shape ~mean:(config.mu *. fraction)
+
+let assign_loads rng config dht =
+  Dht.fold_vs dht ~init:() ~f:(fun () v ->
+      let region = Dht.region_of_vs dht v in
+      let fraction =
+        float_of_int (Region.len region) /. float_of_int Id.space_size
+      in
+      Dht.set_vs_load dht v (vs_load rng config ~fraction))
+
+let capacity_levels = [| 1.; 10.; 100.; 1000.; 10000. |]
+let capacity_probabilities = [| 0.20; 0.45; 0.30; 0.049; 0.001 |]
+
+let sample_capacity rng =
+  capacity_levels.(Dist.weighted_index rng capacity_probabilities)
+
+let capacity_category c =
+  let best = ref 0 in
+  let best_gap = ref infinity in
+  Array.iteri
+    (fun i level ->
+      let gap = abs_float (log10 c -. log10 level) in
+      if gap < !best_gap then begin
+        best := i;
+        best_gap := gap
+      end)
+    capacity_levels;
+  !best

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest List P2plb P2plb_chord P2plb_metrics P2plb_topology

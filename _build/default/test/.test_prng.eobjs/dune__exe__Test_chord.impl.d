@@ -1,0 +1,1 @@
+test/test_chord.ml: Alcotest Array List P2plb_chord P2plb_idspace P2plb_prng QCheck QCheck_alcotest

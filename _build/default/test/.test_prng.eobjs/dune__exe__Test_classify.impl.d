@@ -1,0 +1,1 @@
+test/test_classify.ml: Alcotest List P2plb P2plb_chord QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_excess.ml: Alcotest Array List P2plb QCheck QCheck_alcotest

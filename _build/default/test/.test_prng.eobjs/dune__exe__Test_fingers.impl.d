@@ -1,0 +1,1 @@
+test/test_fingers.ml: Alcotest Array Option P2plb_chord P2plb_idspace P2plb_prng Printf

@@ -1,0 +1,1 @@
+test/test_hilbert.ml: Alcotest Array Fun Hashtbl List Option P2plb_hilbert Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_idspace.ml: Alcotest Array List P2plb_idspace QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest Buffer Filename Fun List P2plb P2plb_chord P2plb_ktree P2plb_metrics P2plb_prng P2plb_topology P2plb_workload QCheck QCheck_alcotest String Sys

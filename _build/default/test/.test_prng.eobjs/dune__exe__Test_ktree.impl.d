@@ -1,0 +1,1 @@
+test/test_ktree.ml: Alcotest Array Hashtbl List P2plb_chord P2plb_idspace P2plb_ktree P2plb_prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_landmark.ml: Alcotest Array Hashtbl List P2plb_hilbert P2plb_idspace P2plb_landmark P2plb_prng P2plb_topology

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array List P2plb_metrics QCheck QCheck_alcotest String

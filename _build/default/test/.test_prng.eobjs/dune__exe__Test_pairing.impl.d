@@ -1,0 +1,1 @@
+test/test_pairing.ml: Alcotest Hashtbl List Option P2plb QCheck QCheck_alcotest

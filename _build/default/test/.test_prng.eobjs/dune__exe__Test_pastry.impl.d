@@ -1,0 +1,1 @@
+test/test_pastry.ml: Alcotest Array List P2plb_idspace P2plb_pastry P2plb_prng Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Fun Hashtbl List P2plb_metrics P2plb_prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest List Option P2plb_sim

@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest List Option P2plb_chord P2plb_idspace P2plb_prng Printf

@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest List P2plb P2plb_chord P2plb_idspace P2plb_ktree P2plb_prng P2plb_topology P2plb_workload QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Hashtbl List Option P2plb_prng P2plb_topology QCheck QCheck_alcotest

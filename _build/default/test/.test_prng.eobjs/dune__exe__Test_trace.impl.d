@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest List P2plb P2plb_chord P2plb_topology P2plb_workload Printf

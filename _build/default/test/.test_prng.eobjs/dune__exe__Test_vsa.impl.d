@@ -1,0 +1,1 @@
+test/test_vsa.ml: Alcotest List P2plb P2plb_chord P2plb_hilbert P2plb_ktree P2plb_landmark P2plb_topology

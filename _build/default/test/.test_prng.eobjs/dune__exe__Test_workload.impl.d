@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array P2plb_chord P2plb_metrics P2plb_prng P2plb_workload Printf QCheck QCheck_alcotest

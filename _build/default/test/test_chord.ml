@@ -1,0 +1,297 @@
+module Id = P2plb_idspace.Id
+module Region = P2plb_idspace.Region
+module Dht = P2plb_chord.Dht
+module Ring_map = P2plb_chord.Ring_map
+module Prng = P2plb_prng.Prng
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let build_dht ~seed ~nodes ~vs =
+  let dht : unit Dht.t = Dht.create ~seed in
+  for i = 0 to nodes - 1 do
+    ignore (Dht.join dht ~capacity:(float_of_int (1 + (i mod 3))) ~underlay:i ~n_vs:vs)
+  done;
+  dht
+
+(* ---- Ring_map ---------------------------------------------------------- *)
+
+let test_ring_map_successor () =
+  let m = Ring_map.empty |> Ring_map.add 10 "a" |> Ring_map.add 100 "b" in
+  check Alcotest.(option (pair int string)) "exact" (Some (10, "a"))
+    (Ring_map.successor 10 m);
+  check Alcotest.(option (pair int string)) "between" (Some (100, "b"))
+    (Ring_map.successor 11 m);
+  check Alcotest.(option (pair int string)) "wraps" (Some (10, "a"))
+    (Ring_map.successor 101 m);
+  check Alcotest.(option (pair int string)) "strict skips" (Some (100, "b"))
+    (Ring_map.successor_strict 10 m);
+  check Alcotest.(option (pair int string)) "pred" (Some (10, "a"))
+    (Ring_map.predecessor_strict 100 m);
+  check Alcotest.(option (pair int string)) "pred wraps" (Some (100, "b"))
+    (Ring_map.predecessor_strict 5 m)
+
+let test_ring_map_fold_range () =
+  let m =
+    List.fold_left
+      (fun m k -> Ring_map.add k k m)
+      Ring_map.empty [ 5; 10; 15; Id.space_size - 3 ]
+  in
+  let collect ~lo ~len =
+    List.rev (Ring_map.fold_range ~lo_incl:lo ~len (fun k _ acc -> k :: acc) m [])
+  in
+  check Alcotest.(list int) "plain" [ 5; 10 ] (collect ~lo:5 ~len:6);
+  check Alcotest.(list int) "wrap"
+    [ Id.space_size - 3; 5 ]
+    (collect ~lo:(Id.space_size - 3) ~len:10);
+  check Alcotest.(list int) "whole"
+    [ 5; 10; 15; Id.space_size - 3 ]
+    (collect ~lo:0 ~len:Id.space_size);
+  check Alcotest.(list int) "empty" [] (collect ~lo:0 ~len:0)
+
+(* ---- membership -------------------------------------------------------- *)
+
+let test_join_counts () =
+  let dht = build_dht ~seed:1 ~nodes:10 ~vs:5 in
+  check Alcotest.int "nodes" 10 (Dht.n_nodes dht);
+  check Alcotest.int "vss" 50 (Dht.n_vs dht);
+  Dht.fold_nodes dht ~init:() ~f:(fun () n ->
+      check Alcotest.int "5 per node" 5 (List.length n.Dht.vss))
+
+let test_regions_partition_ring () =
+  let dht = build_dht ~seed:2 ~nodes:20 ~vs:3 in
+  let total =
+    Dht.fold_vs dht ~init:0 ~f:(fun acc v ->
+        acc + Region.len (Dht.region_of_vs dht v))
+  in
+  check Alcotest.int "regions cover ring exactly" Id.space_size total
+
+let test_owner_matches_region () =
+  let dht = build_dht ~seed:3 ~nodes:10 ~vs:4 in
+  let rng = Prng.create ~seed:99 in
+  for _ = 1 to 200 do
+    let key = Prng.int rng Id.space_size in
+    let owner = Dht.owner_of_key dht key in
+    check Alcotest.bool "key in owner region" true
+      (Region.contains (Dht.region_of_vs dht owner) key)
+  done
+
+let test_load_conserved_by_join () =
+  let dht = build_dht ~seed:4 ~nodes:10 ~vs:3 in
+  Dht.fold_vs dht ~init:() ~f:(fun () v -> Dht.set_vs_load dht v 1.0);
+  let before = Dht.total_load dht in
+  ignore (Dht.join dht ~capacity:1.0 ~underlay:0 ~n_vs:5);
+  let after = Dht.total_load dht in
+  check Alcotest.bool "join conserves load" true (abs_float (before -. after) < 1e-9)
+
+let test_load_conserved_by_leave () =
+  let dht = build_dht ~seed:5 ~nodes:10 ~vs:3 in
+  Dht.fold_vs dht ~init:() ~f:(fun () v -> Dht.set_vs_load dht v 2.0);
+  let before = Dht.total_load dht in
+  Dht.leave dht 3;
+  check Alcotest.int "node count drops" 9 (Dht.n_nodes dht);
+  check Alcotest.int "vs count drops" 27 (Dht.n_vs dht);
+  check Alcotest.bool "leave conserves load" true
+    (abs_float (before -. Dht.total_load dht) < 1e-9);
+  check Alcotest.bool "dead" false (Dht.is_alive dht 3)
+
+let test_regions_partition_after_churn () =
+  let dht = build_dht ~seed:6 ~nodes:15 ~vs:3 in
+  Dht.leave dht 2;
+  Dht.crash dht 7;
+  ignore (Dht.join dht ~capacity:5.0 ~underlay:1 ~n_vs:4);
+  let total =
+    Dht.fold_vs dht ~init:0 ~f:(fun acc v ->
+        acc + Region.len (Dht.region_of_vs dht v))
+  in
+  check Alcotest.int "still a partition" Id.space_size total
+
+(* ---- transfer / removal ------------------------------------------------ *)
+
+let test_transfer_vs () =
+  let dht = build_dht ~seed:7 ~nodes:5 ~vs:2 in
+  let n0 = Dht.node dht 0 in
+  let v = List.hd n0.Dht.vss in
+  Dht.set_vs_load dht v 7.5;
+  let region_before = Dht.region_of_vs dht v in
+  Dht.transfer_vs dht ~vs_id:v.Dht.vs_id ~to_node:3;
+  check Alcotest.int "owner changed" 3 v.Dht.owner;
+  check Alcotest.int "source sheds it" 1 (List.length (Dht.node dht 0).Dht.vss);
+  check Alcotest.int "target gains it" 3 (List.length (Dht.node dht 3).Dht.vss);
+  check Alcotest.bool "load moves with it" true
+    (abs_float (v.Dht.load -. 7.5) < 1e-9);
+  check Alcotest.bool "region unchanged" true
+    (Region.equal region_before (Dht.region_of_vs dht v))
+
+let test_transfer_to_dead_fails () =
+  let dht = build_dht ~seed:8 ~nodes:5 ~vs:2 in
+  let v = List.hd (Dht.node dht 0).Dht.vss in
+  Dht.leave dht 4;
+  Alcotest.check_raises "dead target"
+    (Invalid_argument "Dht.transfer_vs: dead target") (fun () ->
+      Dht.transfer_vs dht ~vs_id:v.Dht.vs_id ~to_node:4)
+
+let test_remove_vs_absorbs () =
+  let dht = build_dht ~seed:9 ~nodes:5 ~vs:2 in
+  Dht.fold_vs dht ~init:() ~f:(fun () v -> Dht.set_vs_load dht v 1.0);
+  let before = Dht.total_load dht in
+  let v = List.hd (Dht.node dht 2).Dht.vss in
+  Dht.remove_vs dht ~vs_id:v.Dht.vs_id;
+  check Alcotest.int "one fewer vs" 9 (Dht.n_vs dht);
+  check Alcotest.bool "load conserved" true
+    (abs_float (before -. Dht.total_load dht) < 1e-9)
+
+let test_report_vs_fallback () =
+  let dht = build_dht ~seed:10 ~nodes:3 ~vs:2 in
+  let rng = Prng.create ~seed:1 in
+  let n = Dht.node dht 1 in
+  (* shed everything from node 1 *)
+  List.iter
+    (fun v -> Dht.transfer_vs dht ~vs_id:v.Dht.vs_id ~to_node:0)
+    n.Dht.vss;
+  check Alcotest.int "empty node" 0 (List.length (Dht.node dht 1).Dht.vss);
+  (* report_vs still works *)
+  let v = Dht.report_vs dht rng (Dht.node dht 1) in
+  check Alcotest.bool "some vs" true (Dht.vs_of_id dht v.Dht.vs_id <> None)
+
+(* ---- routing & storage -------------------------------------------------- *)
+
+let test_lookup_finds_owner () =
+  let dht = build_dht ~seed:11 ~nodes:30 ~vs:4 in
+  let rng = Prng.create ~seed:5 in
+  Dht.fold_vs dht ~init:() ~f:(fun () from_vs ->
+      let key = Prng.int rng Id.space_size in
+      let found, hops = Dht.lookup dht ~from:from_vs.Dht.vs_id ~key in
+      let owner = Dht.owner_of_key dht key in
+      check Alcotest.int "routes to owner" owner.Dht.vs_id found.Dht.vs_id;
+      check Alcotest.bool "hops >= 0" true (hops >= 0))
+
+let test_lookup_own_key_zero_hops () =
+  let dht = build_dht ~seed:12 ~nodes:10 ~vs:3 in
+  Dht.fold_vs dht ~init:() ~f:(fun () v ->
+      let _, hops = Dht.lookup dht ~from:v.Dht.vs_id ~key:v.Dht.vs_id in
+      check Alcotest.int "own key is local" 0 hops)
+
+let test_lookup_hop_bound () =
+  let dht = build_dht ~seed:13 ~nodes:100 ~vs:5 in
+  let rng = Prng.create ~seed:6 in
+  let max_hops = ref 0 in
+  for _ = 1 to 500 do
+    let from = (Dht.owner_of_key dht (Prng.int rng Id.space_size)).Dht.vs_id in
+    let key = Prng.int rng Id.space_size in
+    let _, hops = Dht.lookup dht ~from ~key in
+    if hops > !max_hops then max_hops := hops
+  done;
+  (* 500 VSs: greedy finger routing stays within ~2 log2(n) = 18 *)
+  check Alcotest.bool "O(log n) hops" true (!max_hops <= 20)
+
+let test_put_get () =
+  let dht : string Dht.t = Dht.create ~seed:14 in
+  for i = 0 to 9 do
+    ignore (Dht.join dht ~capacity:1.0 ~underlay:i ~n_vs:2)
+  done;
+  let from = (Dht.owner_of_key dht 0).Dht.vs_id in
+  ignore (Dht.put dht ~from ~key:12345 "hello");
+  ignore (Dht.put dht ~from ~key:12345 "world");
+  let values, _ = Dht.get dht ~from ~key:12345 in
+  check Alcotest.(list string) "both stored" [ "world"; "hello" ] values;
+  let none, _ = Dht.get dht ~from ~key:777 in
+  check Alcotest.(list string) "missing key" [] none
+
+let test_items_in_region () =
+  let dht : int Dht.t = Dht.create ~seed:15 in
+  for i = 0 to 9 do
+    ignore (Dht.join dht ~capacity:1.0 ~underlay:i ~n_vs:2)
+  done;
+  let from = (Dht.owner_of_key dht 0).Dht.vs_id in
+  let keys = [ 100; 5000; 1_000_000; Id.space_size - 1 ] in
+  List.iter (fun k -> ignore (Dht.put dht ~from ~key:k k)) keys;
+  (* every item is visible in exactly one VS's region *)
+  List.iter
+    (fun k ->
+      let owners =
+        Dht.fold_vs dht ~init:0 ~f:(fun acc v ->
+            let items = Dht.items_in_region dht (Dht.region_of_vs dht v) in
+            if List.exists (fun (key, _) -> key = k) items then acc + 1 else acc)
+      in
+      check Alcotest.int "exactly one region" 1 owners)
+    keys;
+  Dht.clear_items dht;
+  let values, _ = Dht.get dht ~from ~key:100 in
+  check Alcotest.(list int) "cleared" [] values
+
+let test_counters () =
+  let dht = build_dht ~seed:16 ~nodes:20 ~vs:3 in
+  Dht.reset_counters dht;
+  let from = (Dht.owner_of_key dht 0).Dht.vs_id in
+  ignore (Dht.lookup dht ~from ~key:123);
+  ignore (Dht.lookup dht ~from ~key:456);
+  check Alcotest.int "lookups" 2 (Dht.lookups_performed dht);
+  check Alcotest.bool "hops recorded" true (Dht.hops_used dht >= 0);
+  Dht.reset_counters dht;
+  check Alcotest.int "reset" 0 (Dht.lookups_performed dht)
+
+let prop_join_leave_partition =
+  QCheck.Test.make ~name:"regions always partition the ring" ~count:50
+    QCheck.(pair small_int (int_range 2 20))
+    (fun (seed, nodes) ->
+      let dht = build_dht ~seed ~nodes ~vs:3 in
+      let rng = Prng.create ~seed:(seed + 1) in
+      (* random churn *)
+      for _ = 1 to 5 do
+        if Prng.bool rng && Dht.n_nodes dht > 1 then begin
+          let alive = Array.of_list (Dht.alive_nodes dht) in
+          Dht.leave dht (Prng.choose rng alive).Dht.node_id
+        end
+        else ignore (Dht.join dht ~capacity:1.0 ~underlay:0 ~n_vs:2)
+      done;
+      let total =
+        Dht.fold_vs dht ~init:0 ~f:(fun acc v ->
+            acc + Region.len (Dht.region_of_vs dht v))
+      in
+      total = Id.space_size)
+
+let () =
+  Alcotest.run "chord"
+    [
+      ( "ring_map",
+        [
+          Alcotest.test_case "successor" `Quick test_ring_map_successor;
+          Alcotest.test_case "fold_range" `Quick test_ring_map_fold_range;
+        ] );
+      ( "membership",
+        [
+          Alcotest.test_case "join counts" `Quick test_join_counts;
+          Alcotest.test_case "regions partition" `Quick
+            test_regions_partition_ring;
+          Alcotest.test_case "owner matches region" `Quick
+            test_owner_matches_region;
+          Alcotest.test_case "join conserves load" `Quick
+            test_load_conserved_by_join;
+          Alcotest.test_case "leave conserves load" `Quick
+            test_load_conserved_by_leave;
+          Alcotest.test_case "partition after churn" `Quick
+            test_regions_partition_after_churn;
+        ] );
+      ( "transfer",
+        [
+          Alcotest.test_case "transfer_vs" `Quick test_transfer_vs;
+          Alcotest.test_case "transfer to dead" `Quick
+            test_transfer_to_dead_fails;
+          Alcotest.test_case "remove_vs absorbs" `Quick test_remove_vs_absorbs;
+          Alcotest.test_case "report_vs fallback" `Quick
+            test_report_vs_fallback;
+        ] );
+      ( "routing",
+        [
+          Alcotest.test_case "lookup finds owner" `Quick
+            test_lookup_finds_owner;
+          Alcotest.test_case "own key 0 hops" `Quick
+            test_lookup_own_key_zero_hops;
+          Alcotest.test_case "hop bound" `Quick test_lookup_hop_bound;
+          Alcotest.test_case "put/get" `Quick test_put_get;
+          Alcotest.test_case "items_in_region" `Quick test_items_in_region;
+          Alcotest.test_case "counters" `Quick test_counters;
+        ] );
+      ("properties", [ qtest prop_join_leave_partition ]);
+    ]

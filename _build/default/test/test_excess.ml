@@ -1,0 +1,144 @@
+module Excess = P2plb.Excess
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let loads_of_list l = Array.of_list (List.mapi (fun i x -> (i, x)) l)
+
+let test_no_need_no_shed () =
+  check Alcotest.int "need 0" 0
+    (List.length (Excess.choose_shed ~loads:(loads_of_list [ 1.0; 2.0 ]) 0.0));
+  check Alcotest.int "negative need" 0
+    (List.length (Excess.choose_shed ~loads:(loads_of_list [ 1.0 ]) (-5.0)))
+
+let test_single_vs_keep_one () =
+  (* with keep_at_least = 1 (default) a single VS can never be shed *)
+  check Alcotest.int "keeps last vs" 0
+    (List.length (Excess.choose_shed ~loads:(loads_of_list [ 10.0 ]) 5.0))
+
+let test_single_vs_keep_zero () =
+  let shed = Excess.choose_shed ~keep_at_least:0 ~loads:(loads_of_list [ 10.0 ]) 5.0 in
+  check Alcotest.int "sheds the only vs" 1 (List.length shed)
+
+let test_exact_minimal_choice () =
+  (* need 5: options are {5} (sum 5), {3,4} (7), {4,5}... minimal is {5} *)
+  let shed = Excess.choose_shed ~loads:(loads_of_list [ 3.0; 4.0; 5.0 ]) 5.0 in
+  check (Alcotest.float 1e-9) "sheds exactly 5" 5.0 (Excess.shed_total shed);
+  check Alcotest.int "one vs" 1 (List.length shed)
+
+let test_exact_combination () =
+  (* need 6 from {3,4,5}: {3,4}=7 beats {5,3}=8, {5,4}=9... wait
+     {3,4} sums 7; is there a 6-cover cheaper? no. *)
+  let shed = Excess.choose_shed ~loads:(loads_of_list [ 3.0; 4.0; 5.0 ]) 6.0 in
+  check (Alcotest.float 1e-9) "sheds 7" 7.0 (Excess.shed_total shed)
+
+let test_best_effort_when_impossible () =
+  (* need 100 from {1,2,3} keeping one: best effort sheds the largest
+     two *)
+  let shed = Excess.choose_shed ~loads:(loads_of_list [ 1.0; 2.0; 3.0 ]) 100.0 in
+  check Alcotest.int "sheds allowed max" 2 (List.length shed);
+  check (Alcotest.float 1e-9) "largest two" 5.0 (Excess.shed_total shed)
+
+let test_negative_load_rejected () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Excess.choose_shed: negative load") (fun () ->
+      ignore (Excess.choose_shed ~loads:(loads_of_list [ -1.0 ]) 1.0))
+
+let test_shed_ids_are_distinct () =
+  let shed =
+    Excess.choose_shed ~loads:(loads_of_list [ 2.0; 2.0; 2.0; 2.0 ]) 5.0
+  in
+  let ids = List.map fst shed in
+  check Alcotest.int "distinct ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+(* Brute-force optimum for cross-checking (n <= 10). *)
+let brute_force loads need allowed =
+  let n = Array.length loads in
+  let best = ref infinity in
+  for mask = 0 to (1 lsl n) - 1 do
+    let sum = ref 0.0 and cnt = ref 0 in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then begin
+        sum := !sum +. snd loads.(i);
+        incr cnt
+      end
+    done;
+    if !cnt <= allowed && !sum >= need && !sum < !best then best := !sum
+  done;
+  !best
+
+let loads_gen =
+  QCheck.(list_of_size (QCheck.Gen.int_range 1 9) (float_range 0.0 10.0))
+
+let prop_exact_is_optimal =
+  QCheck.Test.make ~name:"small instances are solved optimally" ~count:500
+    QCheck.(pair loads_gen (float_range 0.0 30.0))
+    (fun (l, need) ->
+      let loads = loads_of_list l in
+      let shed = Excess.choose_shed ~keep_at_least:0 ~loads need in
+      let opt = brute_force loads need (Array.length loads) in
+      if need <= 0.0 then shed = []
+      else if opt = infinity then
+        (* impossible: best effort sheds everything allowed *)
+        List.length shed = Array.length loads
+      else abs_float (Excess.shed_total shed -. opt) < 1e-9)
+
+let prop_covers_need_when_possible =
+  QCheck.Test.make ~name:"shed covers the need whenever possible" ~count:500
+    QCheck.(pair loads_gen (float_range 0.0 20.0))
+    (fun (l, need) ->
+      let loads = loads_of_list l in
+      let total = List.fold_left ( +. ) 0.0 l in
+      QCheck.assume (need > 0.0 && need <= total);
+      let shed = Excess.choose_shed ~keep_at_least:0 ~loads need in
+      Excess.shed_total shed >= need -. 1e-9)
+
+let prop_respects_keep_at_least =
+  QCheck.Test.make ~name:"never sheds more than allowed" ~count:500
+    QCheck.(triple loads_gen (float_range 0.0 50.0) (int_range 0 5))
+    (fun (l, need, keep) ->
+      let loads = loads_of_list l in
+      let shed = Excess.choose_shed ~keep_at_least:keep ~loads need in
+      List.length shed <= max 0 (Array.length loads - keep))
+
+let prop_greedy_covers =
+  (* exercise the greedy path with > exact_threshold VSs *)
+  QCheck.Test.make ~name:"greedy path covers the need" ~count:100
+    QCheck.(
+      pair
+        (list_of_size (QCheck.Gen.int_range 17 40) (float_range 0.1 10.0))
+        (float_range 0.0 1.0))
+    (fun (l, frac) ->
+      let loads = loads_of_list l in
+      let total = List.fold_left ( +. ) 0.0 l in
+      let need = frac *. total *. 0.9 in
+      QCheck.assume (need > 0.0);
+      let shed = Excess.choose_shed ~keep_at_least:0 ~loads need in
+      Excess.shed_total shed >= need -. 1e-9)
+
+let () =
+  Alcotest.run "excess"
+    [
+      ( "cases",
+        [
+          Alcotest.test_case "no need" `Quick test_no_need_no_shed;
+          Alcotest.test_case "keep one" `Quick test_single_vs_keep_one;
+          Alcotest.test_case "keep zero" `Quick test_single_vs_keep_zero;
+          Alcotest.test_case "minimal single" `Quick test_exact_minimal_choice;
+          Alcotest.test_case "minimal combination" `Quick
+            test_exact_combination;
+          Alcotest.test_case "best effort" `Quick
+            test_best_effort_when_impossible;
+          Alcotest.test_case "negative rejected" `Quick
+            test_negative_load_rejected;
+          Alcotest.test_case "distinct ids" `Quick test_shed_ids_are_distinct;
+        ] );
+      ( "properties",
+        [
+          qtest prop_exact_is_optimal;
+          qtest prop_covers_need_when_possible;
+          qtest prop_respects_keep_at_least;
+          qtest prop_greedy_covers;
+        ] );
+    ]

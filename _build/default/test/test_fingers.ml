@@ -1,0 +1,140 @@
+module Id = P2plb_idspace.Id
+module Dht = P2plb_chord.Dht
+module Fingers = P2plb_chord.Fingers
+module Prng = P2plb_prng.Prng
+
+let check = Alcotest.check
+
+let build_dht ~seed ~nodes ~vs =
+  let dht : unit Dht.t = Dht.create ~seed in
+  for i = 0 to nodes - 1 do
+    ignore (Dht.join dht ~capacity:1.0 ~underlay:i ~n_vs:vs)
+  done;
+  dht
+
+let test_fresh_tables_not_stale () =
+  let dht = build_dht ~seed:1 ~nodes:20 ~vs:3 in
+  let f = Fingers.create dht in
+  check Alcotest.int "one table per VS" (Dht.n_vs dht) (Fingers.vs_count f);
+  check Alcotest.int "fresh tables correct" 0 (Fingers.staleness f dht)
+
+let test_fresh_lookup_matches_truth () =
+  let dht = build_dht ~seed:2 ~nodes:30 ~vs:3 in
+  let f = Fingers.create dht in
+  let rng = Prng.create ~seed:9 in
+  check (Alcotest.float 1e-9) "all lookups correct" 1.0
+    (Fingers.correct_lookup_fraction f dht ~rng ~samples:300)
+
+let test_lookup_hops_logarithmic () =
+  let dht = build_dht ~seed:3 ~nodes:100 ~vs:5 in
+  let f = Fingers.create dht in
+  let rng = Prng.create ~seed:10 in
+  let sources =
+    Dht.fold_vs dht ~init:[] ~f:(fun acc v -> v.Dht.vs_id :: acc)
+    |> Array.of_list
+  in
+  for _ = 1 to 300 do
+    let from = Prng.choose rng sources in
+    let key = Prng.int rng Id.space_size in
+    match Fingers.lookup f dht ~from ~key with
+    | Some (_, hops) ->
+      check Alcotest.bool "hops O(log n)" true (hops <= 20)
+    | None -> Alcotest.fail "lookup failed on a stable ring"
+  done
+
+let test_churn_makes_tables_stale () =
+  let dht = build_dht ~seed:4 ~nodes:30 ~vs:3 in
+  let f = Fingers.create dht in
+  Dht.crash dht 3;
+  Dht.crash dht 17;
+  ignore (Dht.join dht ~capacity:1.0 ~underlay:0 ~n_vs:3);
+  check Alcotest.bool "stale entries appear" true (Fingers.staleness f dht > 0)
+
+let test_stabilization_converges () =
+  let dht = build_dht ~seed:5 ~nodes:30 ~vs:3 in
+  let f = Fingers.create dht in
+  for i = 0 to 9 do
+    if i < 5 then begin
+      Dht.crash dht i;
+      ignore (Dht.join dht ~capacity:1.0 ~underlay:i ~n_vs:2)
+    end
+  done;
+  check Alcotest.bool "stale after churn" true (Fingers.staleness f dht > 0);
+  (* enough rounds to fix all 32 fingers of every table *)
+  let rounds = ref 0 in
+  while Fingers.staleness f dht > 0 && !rounds < 20 do
+    ignore (Fingers.stabilize_round ~fingers_per_round:8 f dht);
+    incr rounds
+  done;
+  check Alcotest.int "fully repaired" 0 (Fingers.staleness f dht);
+  check Alcotest.bool "within expected rounds" true (!rounds <= 32 / 8 + 2);
+  let rng = Prng.create ~seed:11 in
+  check (Alcotest.float 1e-9) "lookups correct again" 1.0
+    (Fingers.correct_lookup_fraction f dht ~rng ~samples:200)
+
+let test_lookup_degrades_gracefully_under_churn () =
+  let dht = build_dht ~seed:6 ~nodes:60 ~vs:3 in
+  let f = Fingers.create dht in
+  let rng = Prng.create ~seed:12 in
+  (* kill 20% of nodes without any stabilisation *)
+  for i = 0 to 11 do
+    Dht.crash dht (i * 5)
+  done;
+  let frac = Fingers.correct_lookup_fraction f dht ~rng ~samples:300 in
+  (* most lookups still land correctly (fingers route around), but the
+     tables are stale so some fail *)
+  check Alcotest.bool
+    (Printf.sprintf "fraction sane (got %.2f)" frac)
+    true
+    (frac > 0.3 && frac <= 1.0);
+  (* one stabilisation round on succ pointers restores most accuracy *)
+  ignore (Fingers.stabilize_round ~fingers_per_round:32 f dht);
+  let frac2 = Fingers.correct_lookup_fraction f dht ~rng ~samples:300 in
+  check Alcotest.bool
+    (Printf.sprintf "repaired fraction improves (%.2f -> %.2f)" frac frac2)
+    true (frac2 >= frac)
+
+let test_repair_count_reported () =
+  let dht = build_dht ~seed:7 ~nodes:20 ~vs:2 in
+  let f = Fingers.create dht in
+  check Alcotest.int "nothing to repair when fresh" 0
+    (Fingers.stabilize_round ~fingers_per_round:32 f dht);
+  Dht.crash dht 4;
+  let repaired = Fingers.stabilize_round ~fingers_per_round:32 f dht in
+  check Alcotest.bool "repairs counted" true (repaired > 0)
+
+let test_single_vs_ring () =
+  let dht = build_dht ~seed:8 ~nodes:1 ~vs:1 in
+  let f = Fingers.create dht in
+  let the_vs =
+    Dht.fold_vs dht ~init:None ~f:(fun _ v -> Some v.Dht.vs_id) |> Option.get
+  in
+  match Fingers.lookup f dht ~from:the_vs ~key:12345 with
+  | Some (reached, hops) ->
+    check Alcotest.int "self" the_vs reached;
+    check Alcotest.int "no hops" 0 hops
+  | None -> Alcotest.fail "single-vs lookup failed"
+
+let () =
+  Alcotest.run "fingers"
+    [
+      ( "fresh",
+        [
+          Alcotest.test_case "not stale" `Quick test_fresh_tables_not_stale;
+          Alcotest.test_case "lookups correct" `Quick
+            test_fresh_lookup_matches_truth;
+          Alcotest.test_case "hops logarithmic" `Quick
+            test_lookup_hops_logarithmic;
+          Alcotest.test_case "single vs" `Quick test_single_vs_ring;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case "staleness appears" `Quick
+            test_churn_makes_tables_stale;
+          Alcotest.test_case "stabilisation converges" `Quick
+            test_stabilization_converges;
+          Alcotest.test_case "graceful degradation" `Quick
+            test_lookup_degrades_gracefully_under_churn;
+          Alcotest.test_case "repair count" `Quick test_repair_count_reported;
+        ] );
+    ]

@@ -1,0 +1,192 @@
+module Hilbert = P2plb_hilbert.Hilbert
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- small exact cases ------------------------------------------------- *)
+
+let test_dims1_identity () =
+  for i = 0 to 15 do
+    check Alcotest.int "1-d encode" i (Hilbert.encode ~dims:1 ~order:4 [| i |]);
+    check Alcotest.(array int) "1-d decode" [| i |]
+      (Hilbert.decode ~dims:1 ~order:4 i)
+  done
+
+let test_2d_order1_is_hilbert () =
+  (* The order-1 2-d Hilbert curve visits the four cells in a "U". *)
+  let cells =
+    List.map (Hilbert.decode ~dims:2 ~order:1) [ 0; 1; 2; 3 ]
+  in
+  (* consecutive cells differ by exactly one step in one axis *)
+  let rec adjacent = function
+    | a :: (b :: _ as rest) ->
+      let d =
+        abs (a.(0) - b.(0)) + abs (a.(1) - b.(1))
+      in
+      d = 1 && adjacent rest
+    | _ -> true
+  in
+  check Alcotest.bool "U-shape adjacency" true (adjacent cells)
+
+let test_index_bits_validation () =
+  check Alcotest.int "bits" 30 (Hilbert.index_bits ~dims:15 ~order:2);
+  Alcotest.check_raises "too many bits"
+    (Invalid_argument "Hilbert: dims * order > 62") (fun () ->
+      ignore (Hilbert.index_bits ~dims:15 ~order:5))
+
+let test_coord_validation () =
+  Alcotest.check_raises "coord out of range"
+    (Invalid_argument "Hilbert: coord out of range") (fun () ->
+      ignore (Hilbert.encode ~dims:2 ~order:2 [| 4; 0 |]));
+  Alcotest.check_raises "wrong arity" (Invalid_argument "Hilbert: wrong arity")
+    (fun () -> ignore (Hilbert.encode ~dims:3 ~order:2 [| 1; 1 |]))
+
+let test_morton_2d () =
+  (* Morton interleaves bits: (x=1,y=0) at order 1: index has x in the
+     low bit by our axis order convention; just check the full order-1
+     square is a bijection. *)
+  let seen = Hashtbl.create 4 in
+  for x = 0 to 1 do
+    for y = 0 to 1 do
+      let i = Hilbert.morton_encode ~dims:2 ~order:1 [| x; y |] in
+      check Alcotest.bool "fresh" false (Hashtbl.mem seen i);
+      Hashtbl.add seen i ()
+    done
+  done;
+  check Alcotest.int "4 cells" 4 (Hashtbl.length seen)
+
+let test_curve_names () =
+  check Alcotest.(option string) "hilbert" (Some "hilbert")
+    (Option.map Hilbert.curve_to_string (Hilbert.curve_of_string "hilbert"));
+  check Alcotest.(option string) "zorder" (Some "morton")
+    (Option.map Hilbert.curve_to_string (Hilbert.curve_of_string "zorder"));
+  check Alcotest.(option string) "raw" (Some "rowmajor")
+    (Option.map Hilbert.curve_to_string (Hilbert.curve_of_string "raw"));
+  check Alcotest.bool "unknown" true (Hilbert.curve_of_string "xx" = None)
+
+(* ---- exhaustive bijection on small grids ------------------------------- *)
+
+let bijection_case ~dims ~order curve () =
+  let n = 1 lsl (dims * order) in
+  let seen = Array.make n false in
+  let coords = Array.make dims 0 in
+  let lim = 1 lsl order in
+  let rec enumerate axis =
+    if axis = dims then begin
+      let i = Hilbert.encode_curve curve ~dims ~order coords in
+      check Alcotest.bool "index in range" true (i >= 0 && i < n);
+      check Alcotest.bool "index fresh" false seen.(i);
+      seen.(i) <- true;
+      check Alcotest.(array int) "roundtrip" (Array.copy coords)
+        (Hilbert.decode_curve curve ~dims ~order i)
+    end
+    else
+      for c = 0 to lim - 1 do
+        coords.(axis) <- c;
+        enumerate (axis + 1)
+      done
+  in
+  enumerate 0;
+  check Alcotest.bool "all indices hit" true (Array.for_all Fun.id seen)
+
+(* ---- the defining Hilbert property: curve adjacency -------------------- *)
+
+let adjacency_case ~dims ~order () =
+  let n = 1 lsl (dims * order) in
+  let prev = ref (Hilbert.decode ~dims ~order 0) in
+  for i = 1 to n - 1 do
+    let cur = Hilbert.decode ~dims ~order i in
+    let l1 = ref 0 in
+    Array.iteri (fun a c -> l1 := !l1 + abs (c - !prev.(a))) cur;
+    check Alcotest.int "consecutive indices are grid neighbours" 1 !l1;
+    prev := cur
+  done
+
+(* ---- qcheck roundtrips -------------------------------------------------- *)
+
+let coords_gen =
+  let open QCheck.Gen in
+  (* dims x order <= 62 and small enough to be fast *)
+  int_range 1 6 >>= fun dims ->
+  int_range 1 (min 8 (62 / dims)) >>= fun order ->
+  let lim = 1 lsl order in
+  array_size (return dims) (int_range 0 (lim - 1)) >>= fun coords ->
+  return (dims, order, coords)
+
+let prop_roundtrip curve name =
+  QCheck.Test.make ~name ~count:2000
+    (QCheck.make ~print:(fun (d, o, c) ->
+         Printf.sprintf "dims=%d order=%d coords=[%s]" d o
+           (String.concat ";" (Array.to_list (Array.map string_of_int c))))
+       coords_gen)
+    (fun (dims, order, coords) ->
+      Hilbert.decode_curve curve ~dims ~order
+        (Hilbert.encode_curve curve ~dims ~order coords)
+      = coords)
+
+let prop_hilbert_beats_morton_locality =
+  (* Average index distance of axis-neighbour cells: Hilbert should be
+     no worse than row-major on a 2-d grid (a weak but stable check of
+     the locality ordering). *)
+  QCheck.Test.make ~name:"hilbert locality sane on 2d grid" ~count:1
+    QCheck.unit
+    (fun () ->
+      let order = 4 in
+      let lim = 1 lsl order in
+      let avg curve =
+        let total = ref 0 and cnt = ref 0 in
+        for x = 0 to lim - 2 do
+          for y = 0 to lim - 1 do
+            let a = Hilbert.encode_curve curve ~dims:2 ~order [| x; y |] in
+            let b = Hilbert.encode_curve curve ~dims:2 ~order [| x + 1; y |] in
+            total := !total + abs (a - b);
+            incr cnt
+          done
+        done;
+        float_of_int !total /. float_of_int !cnt
+      in
+      avg Hilbert.Hilbert <= avg Hilbert.Row_major)
+
+let () =
+  Alcotest.run "hilbert"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "1-d identity" `Quick test_dims1_identity;
+          Alcotest.test_case "2-d order-1 U" `Quick test_2d_order1_is_hilbert;
+          Alcotest.test_case "bits validation" `Quick test_index_bits_validation;
+          Alcotest.test_case "coord validation" `Quick test_coord_validation;
+          Alcotest.test_case "morton 2d" `Quick test_morton_2d;
+          Alcotest.test_case "curve names" `Quick test_curve_names;
+        ] );
+      ( "bijection",
+        [
+          Alcotest.test_case "hilbert 2d o3" `Quick
+            (bijection_case ~dims:2 ~order:3 Hilbert.Hilbert);
+          Alcotest.test_case "hilbert 3d o2" `Quick
+            (bijection_case ~dims:3 ~order:2 Hilbert.Hilbert);
+          Alcotest.test_case "hilbert 4d o2" `Quick
+            (bijection_case ~dims:4 ~order:2 Hilbert.Hilbert);
+          Alcotest.test_case "hilbert 15d o1" `Quick
+            (bijection_case ~dims:15 ~order:1 Hilbert.Hilbert);
+          Alcotest.test_case "morton 3d o3" `Quick
+            (bijection_case ~dims:3 ~order:3 Hilbert.Morton);
+          Alcotest.test_case "rowmajor 3d o3" `Quick
+            (bijection_case ~dims:3 ~order:3 Hilbert.Row_major);
+        ] );
+      ( "adjacency",
+        [
+          Alcotest.test_case "2d o4" `Quick (adjacency_case ~dims:2 ~order:4);
+          Alcotest.test_case "3d o3" `Quick (adjacency_case ~dims:3 ~order:3);
+          Alcotest.test_case "4d o2" `Quick (adjacency_case ~dims:4 ~order:2);
+          Alcotest.test_case "5d o2" `Quick (adjacency_case ~dims:5 ~order:2);
+          Alcotest.test_case "6d o2" `Quick (adjacency_case ~dims:6 ~order:2);
+        ] );
+      ( "properties",
+        [
+          qtest (prop_roundtrip Hilbert.Hilbert "hilbert roundtrip");
+          qtest (prop_roundtrip Hilbert.Morton "morton roundtrip");
+          qtest (prop_roundtrip Hilbert.Row_major "rowmajor roundtrip");
+          qtest prop_hilbert_beats_morton_locality;
+        ] );
+    ]

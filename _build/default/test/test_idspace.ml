@@ -1,0 +1,242 @@
+module Id = P2plb_idspace.Id
+module Region = P2plb_idspace.Region
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+let id_gen = QCheck.int_range 0 (Id.space_size - 1)
+
+(* ---- Id ---------------------------------------------------------------- *)
+
+let test_constants () =
+  check Alcotest.int "bits" 32 Id.bits;
+  check Alcotest.int "space" (1 lsl 32) Id.space_size
+
+let test_of_int_wraps () =
+  check Alcotest.int "wrap" 0 (Id.of_int Id.space_size);
+  check Alcotest.int "wrap+1" 1 (Id.of_int (Id.space_size + 1));
+  check Alcotest.int "negative" (Id.space_size - 1) (Id.of_int (-1))
+
+let test_add_sub () =
+  check Alcotest.int "add wraps" 2 (Id.add (Id.space_size - 3) 5);
+  check Alcotest.int "sub wraps" (Id.space_size - 3) (Id.sub 2 5);
+  check Alcotest.int "add/sub inverse" 12345 (Id.sub (Id.add 12345 999) 999)
+
+let test_distance_cw () =
+  check Alcotest.int "forward" 5 (Id.distance_cw 10 15);
+  check Alcotest.int "wrap" (Id.space_size - 5) (Id.distance_cw 15 10);
+  check Alcotest.int "self" 0 (Id.distance_cw 7 7)
+
+let test_in_range_excl_incl () =
+  check Alcotest.bool "inside" true (Id.in_range_excl_incl 5 ~lo:3 ~hi:8);
+  check Alcotest.bool "hi included" true (Id.in_range_excl_incl 8 ~lo:3 ~hi:8);
+  check Alcotest.bool "lo excluded" false (Id.in_range_excl_incl 3 ~lo:3 ~hi:8);
+  check Alcotest.bool "outside" false (Id.in_range_excl_incl 9 ~lo:3 ~hi:8);
+  (* wrap-around interval *)
+  check Alcotest.bool "wrap inside" true
+    (Id.in_range_excl_incl 2 ~lo:(Id.space_size - 5) ~hi:10);
+  check Alcotest.bool "wrap outside" false
+    (Id.in_range_excl_incl 100 ~lo:(Id.space_size - 5) ~hi:10);
+  (* lo = hi is the whole ring *)
+  check Alcotest.bool "whole ring" true (Id.in_range_excl_incl 0 ~lo:5 ~hi:5)
+
+let test_in_range_excl_excl () =
+  check Alcotest.bool "inside" true (Id.in_range_excl_excl 5 ~lo:3 ~hi:8);
+  check Alcotest.bool "hi excluded" false (Id.in_range_excl_excl 8 ~lo:3 ~hi:8);
+  check Alcotest.bool "lo excluded" false (Id.in_range_excl_excl 3 ~lo:3 ~hi:8);
+  check Alcotest.bool "adjacent empty" false
+    (Id.in_range_excl_excl 4 ~lo:4 ~hi:5);
+  check Alcotest.bool "lo=hi excludes only lo" true
+    (Id.in_range_excl_excl 6 ~lo:5 ~hi:5);
+  check Alcotest.bool "lo=hi excludes lo" false
+    (Id.in_range_excl_excl 5 ~lo:5 ~hi:5)
+
+let test_midpoint () =
+  check Alcotest.int "simple" 5 (Id.midpoint_cw 0 10);
+  check Alcotest.int "wrap" (Id.of_int (Id.space_size - 1))
+    (Id.midpoint_cw (Id.space_size - 6) 4)
+
+let test_fraction_roundtrip () =
+  check Alcotest.int "zero" 0 (Id.of_fraction 0.0);
+  check Alcotest.int "one wraps" 0 (Id.of_fraction 1.0);
+  let x = Id.of_fraction 0.5 in
+  check Alcotest.bool "half" true (abs (x - (Id.space_size / 2)) <= 1)
+
+let test_hash_key_deterministic () =
+  check Alcotest.int "same" (Id.hash_key 3 "abc") (Id.hash_key 3 "abc");
+  check Alcotest.bool "salt matters" true
+    (Id.hash_key 3 "abc" <> Id.hash_key 4 "abc");
+  check Alcotest.bool "string matters" true
+    (Id.hash_key 3 "abc" <> Id.hash_key 3 "abd")
+
+(* ---- Region ------------------------------------------------------------ *)
+
+let test_region_whole_empty () =
+  check Alcotest.bool "whole is whole" true (Region.is_whole Region.whole);
+  check Alcotest.bool "whole not empty" false (Region.is_empty Region.whole);
+  let e = Region.empty_at 42 in
+  check Alcotest.bool "empty" true (Region.is_empty e);
+  check Alcotest.bool "empty contains nothing" false (Region.contains e 42)
+
+let test_region_contains () =
+  let r = Region.make ~start:10 ~len:5 in
+  check Alcotest.bool "start in" true (Region.contains r 10);
+  check Alcotest.bool "last in" true (Region.contains r 14);
+  check Alcotest.bool "after out" false (Region.contains r 15);
+  check Alcotest.bool "before out" false (Region.contains r 9);
+  (* wrap-around region *)
+  let w = Region.make ~start:(Id.space_size - 2) ~len:5 in
+  check Alcotest.bool "wrap high end" true (Region.contains w (Id.space_size - 1));
+  check Alcotest.bool "wrap low end" true (Region.contains w 2);
+  check Alcotest.bool "wrap outside" false (Region.contains w 3)
+
+let test_region_covers () =
+  let outer = Region.make ~start:10 ~len:100 in
+  let inner = Region.make ~start:20 ~len:30 in
+  check Alcotest.bool "covers" true (Region.covers ~outer ~inner);
+  check Alcotest.bool "not covered" false (Region.covers ~outer:inner ~inner:outer);
+  check Alcotest.bool "covers itself" true (Region.covers ~outer ~inner:outer);
+  check Alcotest.bool "whole covers all" true
+    (Region.covers ~outer:Region.whole ~inner);
+  check Alcotest.bool "empty covered" true
+    (Region.covers ~outer:inner ~inner:(Region.empty_at 0));
+  (* straddling *)
+  let straddle = Region.make ~start:100 ~len:20 in
+  check Alcotest.bool "straddles boundary" false
+    (Region.covers ~outer ~inner:straddle)
+
+let test_region_center () =
+  check Alcotest.int "center" 12 (Region.center (Region.make ~start:10 ~len:5));
+  check Alcotest.int "wrap center" 0
+    (Region.center (Region.make ~start:(Id.space_size - 2) ~len:4));
+  check Alcotest.int "whole center" (Id.space_size / 2)
+    (Region.center Region.whole)
+
+let test_region_split_exact () =
+  let r = Region.make ~start:0 ~len:8 in
+  let parts = Region.split r 2 in
+  check Alcotest.int "arity" 2 (Array.length parts);
+  check Alcotest.int "first len" 4 (Region.len parts.(0));
+  check Alcotest.int "second start" 4 (Region.start parts.(1))
+
+let test_region_split_remainder () =
+  let r = Region.make ~start:5 ~len:7 in
+  let parts = Region.split r 3 in
+  check Alcotest.(list int) "lens"
+    [ 3; 2; 2 ]
+    (Array.to_list (Array.map Region.len parts));
+  (* parts are consecutive *)
+  check Alcotest.int "p1 start" 8 (Region.start parts.(1));
+  check Alcotest.int "p2 start" 10 (Region.start parts.(2))
+
+let test_region_split_small () =
+  let r = Region.make ~start:0 ~len:2 in
+  let parts = Region.split r 8 in
+  let nonempty = Array.to_list parts |> List.filter (fun p -> not (Region.is_empty p)) in
+  check Alcotest.int "two non-empty parts" 2 (List.length nonempty)
+
+let test_between_excl_incl () =
+  let r = Region.between_excl_incl ~lo:10 ~hi:15 in
+  check Alcotest.bool "lo excluded" false (Region.contains r 10);
+  check Alcotest.bool "hi included" true (Region.contains r 15);
+  check Alcotest.int "len" 5 (Region.len r);
+  check Alcotest.bool "lo=hi whole" true
+    (Region.is_whole (Region.between_excl_incl ~lo:3 ~hi:3))
+
+let test_overlap_len () =
+  let a = Region.make ~start:0 ~len:10 and b = Region.make ~start:5 ~len:10 in
+  check Alcotest.int "overlap" 5 (Region.overlap_len a b);
+  check Alcotest.int "symmetric" 5 (Region.overlap_len b a);
+  check Alcotest.int "disjoint" 0
+    (Region.overlap_len a (Region.make ~start:100 ~len:10));
+  check Alcotest.int "self" 10 (Region.overlap_len a a);
+  (* wrap-around overlap *)
+  let w = Region.make ~start:(Id.space_size - 5) ~len:10 in
+  check Alcotest.int "wrap overlap" 5 (Region.overlap_len w a);
+  check Alcotest.int "whole vs r" 10 (Region.overlap_len Region.whole a)
+
+(* ---- qcheck ------------------------------------------------------------ *)
+
+let prop_distance_add =
+  QCheck.Test.make ~name:"add a (distance_cw a b) = b" ~count:1000
+    QCheck.(pair id_gen id_gen)
+    (fun (a, b) -> Id.add a (Id.distance_cw a b) = b)
+
+let region_gen =
+  QCheck.map
+    (fun (s, l) -> Region.make ~start:s ~len:l)
+    QCheck.(pair id_gen (int_range 0 Id.space_size))
+
+let prop_split_partitions =
+  QCheck.Test.make ~name:"split partitions the region" ~count:500
+    QCheck.(pair region_gen (int_range 1 9))
+    (fun (r, k) ->
+      let parts = Region.split r k in
+      let total = Array.fold_left (fun acc p -> acc + Region.len p) 0 parts in
+      total = Region.len r)
+
+let prop_split_parts_covered =
+  QCheck.Test.make ~name:"split parts are covered by the region" ~count:500
+    QCheck.(pair region_gen (int_range 1 9))
+    (fun (r, k) ->
+      Array.for_all
+        (fun p -> Region.covers ~outer:r ~inner:p)
+        (Region.split r k))
+
+let prop_center_contained =
+  QCheck.Test.make ~name:"center lies in the region" ~count:1000 region_gen
+    (fun r ->
+      QCheck.assume (not (Region.is_empty r));
+      Region.contains r (Region.center r))
+
+let prop_covers_agrees_with_contains =
+  QCheck.Test.make ~name:"covers => all sampled points contained" ~count:300
+    QCheck.(triple region_gen region_gen id_gen)
+    (fun (outer, inner, x) ->
+      QCheck.assume (Region.covers ~outer ~inner);
+      QCheck.assume (Region.contains inner x);
+      Region.contains outer x)
+
+let prop_overlap_bounded =
+  QCheck.Test.make ~name:"overlap <= min length" ~count:500
+    QCheck.(pair region_gen region_gen)
+    (fun (a, b) ->
+      let o = Region.overlap_len a b in
+      o >= 0 && o <= min (Region.len a) (Region.len b))
+
+let () =
+  Alcotest.run "idspace"
+    [
+      ( "id",
+        [
+          Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "of_int wraps" `Quick test_of_int_wraps;
+          Alcotest.test_case "add/sub" `Quick test_add_sub;
+          Alcotest.test_case "distance_cw" `Quick test_distance_cw;
+          Alcotest.test_case "in_range (lo,hi]" `Quick test_in_range_excl_incl;
+          Alcotest.test_case "in_range (lo,hi)" `Quick test_in_range_excl_excl;
+          Alcotest.test_case "midpoint" `Quick test_midpoint;
+          Alcotest.test_case "fraction" `Quick test_fraction_roundtrip;
+          Alcotest.test_case "hash_key" `Quick test_hash_key_deterministic;
+        ] );
+      ( "region",
+        [
+          Alcotest.test_case "whole/empty" `Quick test_region_whole_empty;
+          Alcotest.test_case "contains" `Quick test_region_contains;
+          Alcotest.test_case "covers" `Quick test_region_covers;
+          Alcotest.test_case "center" `Quick test_region_center;
+          Alcotest.test_case "split exact" `Quick test_region_split_exact;
+          Alcotest.test_case "split remainder" `Quick test_region_split_remainder;
+          Alcotest.test_case "split small" `Quick test_region_split_small;
+          Alcotest.test_case "between_excl_incl" `Quick test_between_excl_incl;
+          Alcotest.test_case "overlap_len" `Quick test_overlap_len;
+        ] );
+      ( "properties",
+        [
+          qtest prop_distance_add;
+          qtest prop_split_partitions;
+          qtest prop_split_parts_covered;
+          qtest prop_center_contained;
+          qtest prop_covers_agrees_with_contains;
+          qtest prop_overlap_bounded;
+        ] );
+    ]

@@ -1,0 +1,190 @@
+(* Tests of Multiround, Invariants and Csv: the maintenance/tooling
+   layer around the core scheme. *)
+
+module TS = P2plb_topology.Transit_stub
+module Dht = P2plb_chord.Dht
+module Ktree = P2plb_ktree.Ktree
+module Scenario = P2plb.Scenario
+module Multiround = P2plb.Multiround
+module Invariants = P2plb.Invariants
+module Csv = P2plb_metrics.Csv
+module Histogram = P2plb_metrics.Histogram
+module W = P2plb_workload.Workload
+module Prng = P2plb_prng.Prng
+
+let check = Alcotest.check
+
+let small_config =
+  {
+    Scenario.default with
+    n_nodes = 200;
+    topology =
+      {
+        TS.ts5k_large with
+        TS.transit_domains = 3;
+        transit_nodes_per_domain = 2;
+        stub_domains_per_transit = 3;
+        mean_stub_size = 15;
+      };
+  }
+
+(* ---- invariants --------------------------------------------------------- *)
+
+let test_fresh_network_passes_all () =
+  let s = Scenario.build ~seed:1 small_config in
+  let tree = Ktree.build ~k:2 s.Scenario.dht in
+  let total = Dht.total_load s.Scenario.dht in
+  (match Invariants.all ~tree ~expected_total:total s.Scenario.dht with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e)
+
+let test_invariants_hold_through_lb_and_churn () =
+  let s = Scenario.build ~seed:2 small_config in
+  let total = Dht.total_load s.Scenario.dht in
+  ignore (P2plb.Controller.run s);
+  Scenario.crash_nodes s 20;
+  Scenario.join_nodes s 20;
+  ignore (P2plb.Controller.run s);
+  (match Invariants.all ~expected_total:total s.Scenario.dht with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e)
+
+let test_conservation_detects_drift () =
+  let s = Scenario.build ~seed:3 small_config in
+  let total = Dht.total_load s.Scenario.dht in
+  match
+    Invariants.load_conservation ~expected_total:(total +. 1.0)
+      s.Scenario.dht
+  with
+  | Ok () -> Alcotest.fail "should have caught the missing load"
+  | Error _ -> ()
+
+let test_ring_partition_ok () =
+  let s = Scenario.build ~seed:4 small_config in
+  check Alcotest.bool "partition" true
+    (Invariants.ring_partition s.Scenario.dht = Ok ())
+
+(* ---- multiround --------------------------------------------------------- *)
+
+let test_multiround_converges_gaussian () =
+  let s = Scenario.build ~seed:5 small_config in
+  let r = Multiround.run s in
+  check Alcotest.bool "converged" true r.Multiround.converged;
+  check Alcotest.int "no heavy left" 0 r.Multiround.final_heavy;
+  check Alcotest.bool "first round does the work" true
+    ((List.hd r.Multiround.rounds).Multiround.moved_load
+    > 0.9 *. r.Multiround.total_moved)
+
+let test_multiround_pareto_converges_within_cap () =
+  let config = { small_config with Scenario.workload = W.default_pareto } in
+  let s = Scenario.build ~seed:6 config in
+  let r = Multiround.run ~max_rounds:5 s in
+  check Alcotest.bool "rounds bounded" true
+    (List.length r.Multiround.rounds <= 5);
+  check Alcotest.bool "heavy nearly gone" true (r.Multiround.final_heavy <= 3)
+
+let test_multiround_round_indices () =
+  let s = Scenario.build ~seed:7 small_config in
+  let r = Multiround.run s in
+  List.iteri
+    (fun i round -> check Alcotest.int "indices sequential" i round.Multiround.index)
+    r.Multiround.rounds
+
+let test_multiround_quiescent_network () =
+  let s = Scenario.build ~seed:8 small_config in
+  ignore (Multiround.run s);
+  (* run again on the already-balanced network: one trivial round *)
+  let r = Multiround.run s in
+  check Alcotest.int "single round" 1 (List.length r.Multiround.rounds);
+  check Alcotest.bool "converged" true r.Multiround.converged
+
+(* ---- csv ---------------------------------------------------------------- *)
+
+let test_csv_escaping () =
+  check Alcotest.string "plain" "abc" (Csv.escape_field "abc");
+  check Alcotest.string "comma" "\"a,b\"" (Csv.escape_field "a,b");
+  check Alcotest.string "quote" "\"a\"\"b\"" (Csv.escape_field "a\"b");
+  check Alcotest.string "newline" "\"a\nb\"" (Csv.escape_field "a\nb")
+
+let test_csv_to_string () =
+  let out = Csv.to_string ~header:[ "x"; "y" ] [ [ "1"; "2" ]; [ "3"; "4" ] ] in
+  check Alcotest.string "layout" "x,y\n1,2\n3,4\n" out;
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Csv.to_string: row arity mismatch") (fun () ->
+      ignore (Csv.to_string ~header:[ "x" ] [ [ "1"; "2" ] ]))
+
+let test_csv_histogram () =
+  let h = Histogram.create () in
+  Histogram.add h ~bin:1 ~weight:1.0;
+  Histogram.add h ~bin:3 ~weight:3.0;
+  let out = Csv.of_histogram h in
+  let lines = String.split_on_char '\n' out |> List.filter (( <> ) "") in
+  check Alcotest.int "header + 2 bins" 3 (List.length lines);
+  check Alcotest.string "header" "bin,weight,fraction,cdf" (List.hd lines)
+
+let test_csv_roundtrip_file () =
+  let path = Filename.temp_file "p2plb" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csv.write_file ~path ~header:[ "a" ] [ [ "1" ]; [ "2" ] ];
+      let ic = open_in path in
+      let content = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      check Alcotest.string "file content" "a\n1\n2\n" content)
+
+let prop_csv_field_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"escaped fields parse back" ~count:300
+       QCheck.printable_string
+       (fun s ->
+         let e = Csv.escape_field s in
+         (* unescape: strip outer quotes, undouble inner *)
+         let unescaped =
+           if String.length e >= 2 && e.[0] = '"' then begin
+             let inner = String.sub e 1 (String.length e - 2) in
+             let buf = Buffer.create (String.length inner) in
+             let i = ref 0 in
+             while !i < String.length inner do
+               if inner.[!i] = '"' then incr i;
+               if !i < String.length inner then Buffer.add_char buf inner.[!i];
+               incr i
+             done;
+             Buffer.contents buf
+           end
+           else e
+         in
+         unescaped = s))
+
+let () =
+  Alcotest.run "invariants"
+    [
+      ( "invariants",
+        [
+          Alcotest.test_case "fresh network" `Quick
+            test_fresh_network_passes_all;
+          Alcotest.test_case "post LB+churn" `Quick
+            test_invariants_hold_through_lb_and_churn;
+          Alcotest.test_case "detects drift" `Quick
+            test_conservation_detects_drift;
+          Alcotest.test_case "ring partition" `Quick test_ring_partition_ok;
+        ] );
+      ( "multiround",
+        [
+          Alcotest.test_case "gaussian converges" `Quick
+            test_multiround_converges_gaussian;
+          Alcotest.test_case "pareto bounded" `Quick
+            test_multiround_pareto_converges_within_cap;
+          Alcotest.test_case "indices" `Quick test_multiround_round_indices;
+          Alcotest.test_case "quiescent" `Quick
+            test_multiround_quiescent_network;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "escaping" `Quick test_csv_escaping;
+          Alcotest.test_case "to_string" `Quick test_csv_to_string;
+          Alcotest.test_case "histogram" `Quick test_csv_histogram;
+          Alcotest.test_case "file roundtrip" `Quick test_csv_roundtrip_file;
+          prop_csv_field_roundtrip;
+        ] );
+    ]

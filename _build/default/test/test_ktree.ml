@@ -1,0 +1,215 @@
+module Id = P2plb_idspace.Id
+module Region = P2plb_idspace.Region
+module Dht = P2plb_chord.Dht
+module Ktree = P2plb_ktree.Ktree
+module Prng = P2plb_prng.Prng
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let build_dht ~seed ~nodes ~vs =
+  let dht : unit Dht.t = Dht.create ~seed in
+  for i = 0 to nodes - 1 do
+    ignore (Dht.join dht ~capacity:1.0 ~underlay:i ~n_vs:vs)
+  done;
+  dht
+
+let expect_consistent tree dht =
+  match Ktree.check_consistent tree dht with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_build_consistent () =
+  let dht = build_dht ~seed:1 ~nodes:30 ~vs:4 in
+  let tree = Ktree.build ~k:2 dht in
+  expect_consistent tree dht
+
+let test_build_k8_consistent () =
+  let dht = build_dht ~seed:2 ~nodes:30 ~vs:4 in
+  let tree = Ktree.build ~k:8 dht in
+  expect_consistent tree dht;
+  check Alcotest.int "k" 8 (Ktree.k tree)
+
+let test_single_vs_is_root_leaf () =
+  let dht = build_dht ~seed:3 ~nodes:1 ~vs:1 in
+  let tree = Ktree.build ~k:2 dht in
+  check Alcotest.bool "root is leaf" true (Ktree.is_leaf (Ktree.root tree));
+  check Alcotest.int "one node" 1 (Ktree.n_nodes tree);
+  expect_consistent tree dht
+
+let test_root_region_whole () =
+  let dht = build_dht ~seed:4 ~nodes:10 ~vs:2 in
+  let tree = Ktree.build ~k:2 dht in
+  check Alcotest.bool "root owns everything" true
+    (Region.is_whole (Ktree.root tree).Ktree.region)
+
+let test_every_vs_hosts_a_leaf () =
+  (* The §3.1 guarantee; check_consistent verifies it, but assert the
+     leaf_assignment table covers every VS too. *)
+  let dht = build_dht ~seed:5 ~nodes:25 ~vs:3 in
+  let tree = Ktree.build ~k:2 dht in
+  let table = Ktree.leaf_assignment tree in
+  Dht.fold_vs dht ~init:() ~f:(fun () v ->
+      match Hashtbl.find_opt table v.Dht.vs_id with
+      | Some leaf ->
+        check Alcotest.int "designated leaf hosted by the VS" v.Dht.vs_id
+          leaf.Ktree.host
+      | None -> Alcotest.fail "VS without designated leaf")
+
+let test_leaves_partition_ring () =
+  let dht = build_dht ~seed:6 ~nodes:20 ~vs:3 in
+  let tree = Ktree.build ~k:2 dht in
+  let leaves = Ktree.leaves tree in
+  let total =
+    List.fold_left (fun acc l -> acc + Region.len l.Ktree.region) 0 leaves
+  in
+  check Alcotest.int "leaf regions partition the ring" Id.space_size total
+
+let test_depth_bounded () =
+  let dht = build_dht ~seed:7 ~nodes:50 ~vs:4 in
+  let t2 = Ktree.build ~k:2 dht in
+  check Alcotest.bool "k=2 depth <= 32" true (Ktree.depth t2 <= Id.bits);
+  let t8 = Ktree.build ~k:8 dht in
+  check Alcotest.bool "k=8 shallower" true (Ktree.depth t8 < Ktree.depth t2)
+
+let test_sweep_up_counts_leaves () =
+  let dht = build_dht ~seed:8 ~nodes:15 ~vs:3 in
+  let tree = Ktree.build ~k:2 dht in
+  let total =
+    Ktree.sweep_up tree
+      ~at_leaf:(fun _ -> 1)
+      ~combine:(fun _ children -> List.fold_left ( + ) 0 children)
+  in
+  check Alcotest.int "sweep_up visits every leaf" (Ktree.n_leaves tree) total;
+  check Alcotest.bool "rounds recorded" true (Ktree.rounds_last_sweep tree > 0)
+
+let test_sweep_down_reaches_leaves () =
+  let dht = build_dht ~seed:9 ~nodes:15 ~vs:3 in
+  let tree = Ktree.build ~k:2 dht in
+  let hits = ref 0 in
+  Ktree.sweep_down tree ~at_root:42
+    ~split:(fun _ v -> v)
+    ~at_leaf:(fun _ v ->
+      check Alcotest.int "value propagated" 42 v;
+      incr hits);
+  check Alcotest.int "all leaves reached" (Ktree.n_leaves tree) !hits
+
+let test_sweep_messages_counted () =
+  let dht = build_dht ~seed:10 ~nodes:10 ~vs:2 in
+  let tree = Ktree.build ~k:2 dht in
+  Ktree.reset_counters tree;
+  ignore
+    (Ktree.sweep_up tree ~at_leaf:(fun _ -> ()) ~combine:(fun _ _ -> ()));
+  (* one message per edge = n_nodes - 1 *)
+  check Alcotest.int "edges traversed" (Ktree.n_nodes tree - 1)
+    (Ktree.messages tree)
+
+let test_refresh_idempotent_on_stable_ring () =
+  let dht = build_dht ~seed:11 ~nodes:20 ~vs:3 in
+  let tree = Ktree.build ~k:2 dht in
+  let nodes_before = Ktree.n_nodes tree in
+  Ktree.refresh tree dht;
+  check Alcotest.int "no structural change" nodes_before (Ktree.n_nodes tree);
+  expect_consistent tree dht
+
+let test_refresh_repairs_after_crash () =
+  let dht = build_dht ~seed:12 ~nodes:20 ~vs:3 in
+  let tree = Ktree.build ~k:2 dht in
+  Dht.crash dht 5;
+  Dht.crash dht 11;
+  Ktree.refresh tree dht;
+  expect_consistent tree dht
+
+let test_refresh_grows_after_join () =
+  let dht = build_dht ~seed:13 ~nodes:10 ~vs:2 in
+  let tree = Ktree.build ~k:2 dht in
+  for i = 0 to 4 do
+    ignore (Dht.join dht ~capacity:1.0 ~underlay:(100 + i) ~n_vs:3)
+  done;
+  Ktree.refresh tree dht;
+  expect_consistent tree dht
+
+let test_refresh_survives_heavy_churn () =
+  let dht = build_dht ~seed:14 ~nodes:30 ~vs:3 in
+  let tree = Ktree.build ~k:2 dht in
+  let rng = Prng.create ~seed:77 in
+  for _ = 1 to 10 do
+    if Prng.bool rng && Dht.n_nodes dht > 2 then begin
+      let alive = Array.of_list (Dht.alive_nodes dht) in
+      Dht.crash dht (Prng.choose rng alive).Dht.node_id
+    end
+    else ignore (Dht.join dht ~capacity:1.0 ~underlay:0 ~n_vs:2);
+    Ktree.refresh tree dht
+  done;
+  expect_consistent tree dht
+
+let test_refresh_after_vs_transfer () =
+  (* Lazy migration: a transfer does not change which VS hosts a KT
+     node, so the tree stays consistent after refresh. *)
+  let dht = build_dht ~seed:15 ~nodes:10 ~vs:3 in
+  let tree = Ktree.build ~k:2 dht in
+  let v = List.hd (Dht.node dht 0).Dht.vss in
+  Dht.transfer_vs dht ~vs_id:v.Dht.vs_id ~to_node:5;
+  Ktree.refresh tree dht;
+  expect_consistent tree dht
+
+let test_fold_nodes_count () =
+  let dht = build_dht ~seed:16 ~nodes:12 ~vs:2 in
+  let tree = Ktree.build ~k:2 dht in
+  let count = Ktree.fold_nodes tree ~init:0 ~f:(fun acc _ -> acc + 1) in
+  check Alcotest.int "fold visits all" (Ktree.n_nodes tree) count
+
+let prop_tree_consistent_for_any_ring =
+  QCheck.Test.make ~name:"tree consistent on random rings" ~count:25
+    QCheck.(triple small_int (int_range 1 25) (int_range 1 5))
+    (fun (seed, nodes, vs) ->
+      let dht = build_dht ~seed ~nodes ~vs in
+      let tree = Ktree.build ~k:2 dht in
+      Ktree.check_consistent tree dht = Ok ())
+
+let prop_k8_consistent =
+  QCheck.Test.make ~name:"k=8 tree consistent on random rings" ~count:15
+    QCheck.(pair small_int (int_range 1 20))
+    (fun (seed, nodes) ->
+      let dht = build_dht ~seed ~nodes ~vs:3 in
+      let tree = Ktree.build ~k:8 dht in
+      Ktree.check_consistent tree dht = Ok ())
+
+let () =
+  Alcotest.run "ktree"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "consistent k=2" `Quick test_build_consistent;
+          Alcotest.test_case "consistent k=8" `Quick test_build_k8_consistent;
+          Alcotest.test_case "single vs" `Quick test_single_vs_is_root_leaf;
+          Alcotest.test_case "root region" `Quick test_root_region_whole;
+          Alcotest.test_case "leaf per VS" `Quick test_every_vs_hosts_a_leaf;
+          Alcotest.test_case "leaves partition" `Quick
+            test_leaves_partition_ring;
+          Alcotest.test_case "depth bounded" `Quick test_depth_bounded;
+        ] );
+      ( "sweeps",
+        [
+          Alcotest.test_case "sweep_up" `Quick test_sweep_up_counts_leaves;
+          Alcotest.test_case "sweep_down" `Quick test_sweep_down_reaches_leaves;
+          Alcotest.test_case "messages" `Quick test_sweep_messages_counted;
+        ] );
+      ( "self-repair",
+        [
+          Alcotest.test_case "refresh idempotent" `Quick
+            test_refresh_idempotent_on_stable_ring;
+          Alcotest.test_case "repairs crash" `Quick
+            test_refresh_repairs_after_crash;
+          Alcotest.test_case "grows after join" `Quick
+            test_refresh_grows_after_join;
+          Alcotest.test_case "heavy churn" `Quick
+            test_refresh_survives_heavy_churn;
+          Alcotest.test_case "after transfer" `Quick
+            test_refresh_after_vs_transfer;
+          Alcotest.test_case "fold_nodes" `Quick test_fold_nodes_count;
+        ] );
+      ( "properties",
+        [ qtest prop_tree_consistent_for_any_ring; qtest prop_k8_consistent ]
+      );
+    ]

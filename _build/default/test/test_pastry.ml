@@ -1,0 +1,196 @@
+module Id = P2plb_idspace.Id
+module Pastry = P2plb_pastry.Pastry
+module Prng = P2plb_prng.Prng
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let build ~seed ~n =
+  let t = Pastry.create () in
+  let rng = Prng.create ~seed in
+  let added = ref 0 in
+  while !added < n do
+    if Pastry.add_node t (Prng.int rng Id.space_size) then incr added
+  done;
+  t
+
+let test_membership () =
+  let t = Pastry.create () in
+  check Alcotest.bool "add" true (Pastry.add_node t 42);
+  check Alcotest.bool "dup rejected" false (Pastry.add_node t 42);
+  check Alcotest.bool "mem" true (Pastry.mem t 42);
+  check Alcotest.int "count" 1 (Pastry.n_nodes t);
+  check Alcotest.bool "remove" true (Pastry.remove_node t 42);
+  check Alcotest.bool "remove missing" false (Pastry.remove_node t 42);
+  check Alcotest.int "empty" 0 (Pastry.n_nodes t)
+
+let test_digits () =
+  check Alcotest.int "8 digits" 8 Pastry.n_digits;
+  check Alcotest.int "same id" 8 (Pastry.shared_prefix_digits 0xABCD1234 0xABCD1234);
+  check Alcotest.int "first differs" 0
+    (Pastry.shared_prefix_digits 0xABCD1234 0x1BCD1234);
+  check Alcotest.int "four shared" 4
+    (Pastry.shared_prefix_digits 0xABCD1234 0xABCD5678)
+
+let test_owner_numerically_closest () =
+  let t = Pastry.create () in
+  ignore (Pastry.add_node t 100);
+  ignore (Pastry.add_node t 200);
+  check Alcotest.int "closest below" 100 (Pastry.owner_of_key t 120);
+  check Alcotest.int "closest above" 200 (Pastry.owner_of_key t 180);
+  check Alcotest.int "exact" 100 (Pastry.owner_of_key t 100);
+  (* wrap-around: key near the top of the space is closer to 100 *)
+  check Alcotest.int "wraps" 100 (Pastry.owner_of_key t (Id.space_size - 5))
+
+let test_leaf_set () =
+  let t = build ~seed:1 ~n:50 in
+  let node = List.hd (Pastry.nodes t) in
+  let leaves = Pastry.leaf_set t node in
+  check Alcotest.int "16 leaves" (2 * Pastry.leaf_set_half)
+    (List.length leaves);
+  check Alcotest.bool "self excluded" false (List.mem node leaves);
+  (* leaves are the L/2 nearest on each ring side: recompute from the
+     sorted membership and compare *)
+  let sorted = Array.of_list (Pastry.nodes t) in
+  let n = Array.length sorted in
+  let idx = ref 0 in
+  Array.iteri (fun i x -> if x = node then idx := i) sorted;
+  let expected = ref [] in
+  for k = 1 to Pastry.leaf_set_half do
+    expected := sorted.(((!idx + k) mod n + n) mod n) :: !expected;
+    expected := sorted.(((!idx - k) mod n + n) mod n) :: !expected
+  done;
+  let expected = List.sort_uniq compare !expected in
+  check Alcotest.(list int) "leaves are the per-side nearest" expected
+    (List.sort compare leaves)
+
+let test_leaf_set_small_overlay () =
+  let t = build ~seed:2 ~n:5 in
+  let node = List.hd (Pastry.nodes t) in
+  check Alcotest.int "all others are leaves" 4
+    (List.length (Pastry.leaf_set t node))
+
+let test_routing_entry_prefix () =
+  let t = build ~seed:3 ~n:200 in
+  let node = List.hd (Pastry.nodes t) in
+  for row = 0 to 2 do
+    for d = 0 to 15 do
+      match Pastry.routing_entry t node ~row ~digit:d with
+      | None -> ()
+      | Some e ->
+        check Alcotest.bool "entry shares row digits" true
+          (Pastry.shared_prefix_digits node e >= row);
+        check Alcotest.int "entry has the digit" d
+          ((e lsr (Id.bits - ((row + 1) * 4))) land 0xF)
+    done
+  done
+
+let test_route_reaches_owner () =
+  let t = build ~seed:4 ~n:300 in
+  let rng = Prng.create ~seed:5 in
+  let members = Array.of_list (Pastry.nodes t) in
+  for _ = 1 to 500 do
+    let from = Prng.choose rng members in
+    let key = Prng.int rng Id.space_size in
+    let reached, hops = Pastry.route t ~from ~key in
+    check Alcotest.int "reaches the owner" (Pastry.owner_of_key t key) reached;
+    check Alcotest.bool "hop bound" true (hops <= Pastry.n_digits + 2)
+  done
+
+let test_route_own_key () =
+  let t = build ~seed:6 ~n:50 in
+  let node = List.hd (Pastry.nodes t) in
+  let reached, hops = Pastry.route t ~from:node ~key:node in
+  check Alcotest.int "self" node reached;
+  check Alcotest.int "zero hops" 0 hops
+
+let test_route_logarithmic () =
+  (* O(log_16 N): with 1000 nodes, log_16 1000 ~ 2.5; allow slack for
+     leaf-set hops *)
+  let t = build ~seed:7 ~n:1000 in
+  let rng = Prng.create ~seed:8 in
+  let members = Array.of_list (Pastry.nodes t) in
+  let total = ref 0 in
+  let samples = 300 in
+  for _ = 1 to samples do
+    let from = Prng.choose rng members in
+    let key = Prng.int rng Id.space_size in
+    let _, hops = Pastry.route t ~from ~key in
+    total := !total + hops
+  done;
+  let mean = float_of_int !total /. float_of_int samples in
+  check Alcotest.bool
+    (Printf.sprintf "mean hops %.2f is logarithmic" mean)
+    true (mean <= 5.0)
+
+let test_route_path_consistent () =
+  let t = build ~seed:9 ~n:200 in
+  let members = Array.of_list (Pastry.nodes t) in
+  let rng = Prng.create ~seed:10 in
+  for _ = 1 to 100 do
+    let from = Prng.choose rng members in
+    let key = Prng.int rng Id.space_size in
+    let path = Pastry.route_path t ~from ~key in
+    check Alcotest.bool "starts at from" true (List.hd path = from);
+    (* every path node is a member *)
+    List.iter
+      (fun n -> check Alcotest.bool "member" true (Pastry.mem t n))
+      path
+  done
+
+let test_route_after_churn () =
+  let t = build ~seed:11 ~n:300 in
+  let rng = Prng.create ~seed:12 in
+  (* remove a third, add some fresh *)
+  let members = Array.of_list (Pastry.nodes t) in
+  Array.iteri (fun i n -> if i mod 3 = 0 then ignore (Pastry.remove_node t n)) members;
+  for _ = 1 to 50 do
+    ignore (Pastry.add_node t (Prng.int rng Id.space_size))
+  done;
+  let members = Array.of_list (Pastry.nodes t) in
+  for _ = 1 to 200 do
+    let from = members.(Prng.int rng (Array.length members)) in
+    let key = Prng.int rng Id.space_size in
+    let reached, _ = Pastry.route t ~from ~key in
+    check Alcotest.int "still routes to owner" (Pastry.owner_of_key t key)
+      reached
+  done
+
+let prop_route_always_delivers =
+  QCheck.Test.make ~name:"routing always reaches the owner" ~count:50
+    QCheck.(pair small_int (int_range 2 120))
+    (fun (seed, n) ->
+      let t = build ~seed ~n in
+      let rng = Prng.create ~seed:(seed + 99) in
+      let members = Array.of_list (Pastry.nodes t) in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        let from = Prng.choose rng members in
+        let key = Prng.int rng Id.space_size in
+        let reached, _ = Pastry.route t ~from ~key in
+        if reached <> Pastry.owner_of_key t key then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "pastry"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "membership" `Quick test_membership;
+          Alcotest.test_case "digits" `Quick test_digits;
+          Alcotest.test_case "ownership" `Quick test_owner_numerically_closest;
+          Alcotest.test_case "leaf set" `Quick test_leaf_set;
+          Alcotest.test_case "small overlay" `Quick test_leaf_set_small_overlay;
+          Alcotest.test_case "routing entries" `Quick test_routing_entry_prefix;
+        ] );
+      ( "routing",
+        [
+          Alcotest.test_case "reaches owner" `Quick test_route_reaches_owner;
+          Alcotest.test_case "own key" `Quick test_route_own_key;
+          Alcotest.test_case "logarithmic" `Quick test_route_logarithmic;
+          Alcotest.test_case "path consistent" `Quick test_route_path_consistent;
+          Alcotest.test_case "after churn" `Quick test_route_after_churn;
+        ] );
+      ("properties", [ qtest prop_route_always_delivers ]);
+    ]

