@@ -81,6 +81,9 @@ let run_baselines seed n_nodes =
 let run_churn seed n_nodes =
   print_string (E.render_churn (E.churn ~seed ~n_nodes ()))
 
+let run_resilience seed n_nodes =
+  print_string (E.render_resilience (E.resilience ~seed ~n_nodes ()))
+
 let run_verify seed n_nodes =
   let module Scenario = P2plb.Scenario in
   let module Ktree = P2plb_ktree.Ktree in
@@ -198,6 +201,8 @@ let run_all seed graphs n_nodes =
   print_newline ();
   run_churn seed (min n_nodes 1024);
   print_newline ();
+  run_resilience seed (min n_nodes 1024);
+  print_newline ();
   run_overhead seed;
   print_newline ();
   run_durability seed (min n_nodes 512);
@@ -239,6 +244,11 @@ let baselines_cmd =
 let churn_cmd =
   cmd "churn" "Self-repair: crash/join nodes, refresh the KT tree, rebalance."
     Term.(const run_churn $ seed_arg $ nodes_arg 1024)
+
+let resilience_cmd =
+  cmd "resilience"
+    "Fault injection: mid-round crashes + message loss, KT repair, retries."
+    Term.(const run_resilience $ seed_arg $ nodes_arg 1024)
 
 let durability_cmd =
   cmd "durability" "Replicated-store availability and loss under churn."
@@ -282,6 +292,7 @@ let () =
         tvsa_cmd;
         baselines_cmd;
         churn_cmd;
+        resilience_cmd;
         durability_cmd;
         drift_cmd;
         overhead_cmd;

@@ -56,6 +56,12 @@ let alive_nodes t =
   let all = Hashtbl.fold (fun _ n acc -> if n.alive then n :: acc else acc) t.nodes [] in
   List.sort (fun a b -> Int.compare a.node_id b.node_id) all
 
+let dead_nodes t =
+  let all =
+    Hashtbl.fold (fun _ n acc -> if n.alive then acc else n :: acc) t.nodes []
+  in
+  List.sort (fun a b -> Int.compare a.node_id b.node_id) all
+
 let fold_nodes t ~init ~f = List.fold_left f init (alive_nodes t)
 
 let fold_vs t ~init ~f =

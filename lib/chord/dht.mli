@@ -74,6 +74,10 @@ val fold_vs : 'a t -> init:'acc -> f:('acc -> vs -> 'acc) -> 'acc
 val alive_nodes : 'a t -> node list
 (** In increasing [node_id] order. *)
 
+val dead_nodes : 'a t -> node list
+(** Departed/crashed nodes, in increasing [node_id] order — for
+    live-node-scoped invariant checks. *)
+
 (** {1 Virtual servers, regions and load} *)
 
 val vs_of_id : 'a t -> Id.t -> vs option

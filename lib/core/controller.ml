@@ -2,6 +2,8 @@ module Dht = P2plb_chord.Dht
 module Ktree = P2plb_ktree.Ktree
 module Hilbert = P2plb_hilbert.Hilbert
 module Histogram = P2plb_metrics.Histogram
+module Engine = P2plb_sim.Engine
+module Faults = P2plb_sim.Faults
 
 type config = {
   k : int;
@@ -40,17 +42,42 @@ type outcome = {
   tree_messages : int;
   unit_loads_before : float array;
   unit_loads_after : float array;
+  retries : int;
+  timeouts : int;
+  kt_repairs : int;
+  kt_repair_messages : int;
+  crashes_mid_round : int;
 }
 
-let run ?(config = default) (s : Scenario.t) =
+let run ?(config = default) ?faults ?engine (s : Scenario.t) =
   let dht = s.Scenario.dht in
+  (* Fault-plan counters are cumulative; report this round's share. *)
+  let retries0, timeouts0, crashes0 =
+    match faults with
+    | None -> (0, 0, 0)
+    | Some f -> (Faults.retries f, Faults.timeouts f, Faults.crashes f)
+  in
+  (* With a clock attached, the round occupies one unit of simulated
+     time and each phase ends at a barrier; armed fault events (node
+     crashes) fire between phases, exercising mid-round churn. *)
+  let round_start = match engine with Some e -> Engine.now e | None -> 0.0 in
+  let barrier frac =
+    match engine with
+    | Some e -> Engine.run_until e ~time:(round_start +. frac)
+    | None -> ()
+  in
   let unit_loads_before = Scenario.unit_loads s in
   (* Phase 0: the aggregation infrastructure. *)
   let tree = Ktree.build ~route_messages:config.route_messages ~k:config.k dht in
+  barrier 0.2;
   (* Phase 1: LBI aggregation + dissemination. *)
-  let lbi = Lbi.run ~rng:s.Scenario.rng tree dht in
+  let lbi =
+    Lbi.run ~rng:s.Scenario.rng ?faults ~route_messages:config.route_messages
+      tree dht
+  in
   let lbi_rounds = Ktree.rounds_last_sweep tree in
   let epsilon = config.epsilon_rel *. lbi.Types.l /. lbi.Types.c in
+  barrier 0.4;
   (* Phase 2: classification (recorded; the VSA re-derives it per node). *)
   let census_before = Classify.census ~lbi ~epsilon dht in
   (* Phase 3: virtual-server assignment. *)
@@ -66,12 +93,19 @@ let run ?(config = default) (s : Scenario.t) =
     else Vsa.Ignorant
   in
   let vsa =
-    Vsa.run ~threshold:config.threshold ~epsilon ~mode ~rng:s.Scenario.rng
-      ~lbi tree dht
+    Vsa.run ~threshold:config.threshold ~epsilon ?faults
+      ~route_messages:config.route_messages ~mode ~rng:s.Scenario.rng ~lbi tree
+      dht
   in
+  barrier 0.7;
   (* Phase 4: virtual-server transferring. *)
   let vst = Vst.apply ~tree ~oracle:s.Scenario.oracle dht vsa.Vsa.assignments in
   let census_after = Classify.census ~lbi ~epsilon dht in
+  let retries1, timeouts1, crashes1 =
+    match faults with
+    | None -> (0, 0, 0)
+    | Some f -> (Faults.retries f, Faults.timeouts f, Faults.crashes f)
+  in
   {
     lbi;
     epsilon;
@@ -86,6 +120,11 @@ let run ?(config = default) (s : Scenario.t) =
     tree_messages = Ktree.messages tree;
     unit_loads_before;
     unit_loads_after = Scenario.unit_loads s;
+    retries = retries1 - retries0;
+    timeouts = timeouts1 - timeouts0;
+    kt_repairs = Ktree.repairs tree;
+    kt_repair_messages = Ktree.repair_messages tree;
+    crashes_mid_round = crashes1 - crashes0;
   }
 
 let moved_fraction o =

@@ -2,11 +2,20 @@ module Dht = P2plb_chord.Dht
 module Ktree = P2plb_ktree.Ktree
 module Hilbert = P2plb_hilbert.Hilbert
 module Histogram = P2plb_metrics.Histogram
+module Engine = P2plb_sim.Engine
+module Faults = P2plb_sim.Faults
 
 (** The complete four-phase load-balancing round (paper §1.2):
     LBI aggregation → node classification → virtual-server assignment
     → virtual-server transferring, with or without the
-    proximity-aware mechanism. *)
+    proximity-aware mechanism.
+
+    The round tolerates churn: with a fault plan (and optionally a
+    clock whose armed crash events fire at the inter-phase barriers),
+    lost messages are retried with bounded backoff, orphaned KT nodes
+    are re-planted before each sweep, stale records are dropped at
+    rendezvous, and unapplicable transfers are skipped per cause —
+    the round always completes on whatever nodes remain alive. *)
 
 type config = {
   k : int;  (** K-nary tree degree; paper evaluates 2 and 8 *)
@@ -42,11 +51,22 @@ type outcome = {
   tree_messages : int;  (** build + sweeps + refresh messages *)
   unit_loads_before : float array;
   unit_loads_after : float array;
+  retries : int;  (** message retransmissions this round *)
+  timeouts : int;  (** sends abandoned after all retries *)
+  kt_repairs : int;  (** KT nodes re-planted by in-round repair *)
+  kt_repair_messages : int;
+  crashes_mid_round : int;  (** fault-plan crashes fired inside the round *)
 }
 
-val run : ?config:config -> Scenario.t -> outcome
+val run :
+  ?config:config -> ?faults:Faults.t -> ?engine:Engine.t ->
+  Scenario.t -> outcome
 (** One load-balancing round over the scenario's current loads.
-    Mutates the scenario's DHT (virtual servers move). *)
+    Mutates the scenario's DHT (virtual servers move).  [faults]
+    injects message loss (and supplies retry policy); [engine], when
+    given, is advanced to the round's phase barriers so armed fault
+    events fire mid-round.  Without them the round is byte-identical
+    to the fault-free code path. *)
 
 val moved_fraction : outcome -> float
 (** Moved load as a fraction of total system load. *)

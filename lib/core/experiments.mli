@@ -106,6 +106,31 @@ val churn : ?seed:int -> ?n_nodes:int -> ?crash_fraction:float -> unit -> churn_
 
 val render_churn : churn_result -> string
 
+type resilience_row = {
+  z_crash_fraction : float;  (** fault-plan crash fraction *)
+  z_message_loss : float;    (** per-send loss probability *)
+  z_crashes : int;           (** crashes that actually fired *)
+  z_final_live : int;
+  z_heavy_fraction : float;  (** heavy after / live after *)
+  z_moved_factor : float;    (** total moved load / initial total load *)
+  z_repairs : int;           (** KT nodes re-planted across rounds *)
+  z_repair_messages : int;
+  z_retries : int;
+  z_timeouts : int;
+  z_rounds : int;
+  z_invariants_ok : bool;    (** {!Invariants.all} after the last round *)
+}
+
+val resilience :
+  ?seed:int -> ?n_nodes:int -> ?max_rounds:int -> unit -> resilience_row list
+(** The fault-injection experiment: multiround balancing with node
+    crashes firing {e at the phase barriers inside} each round plus
+    per-message loss, swept over churn rates (0%..30% crashes,
+    0%..5% loss).  The 0%/0% row doubles as the zero-perturbation
+    control: it must match the fault-free numbers exactly. *)
+
+val render_resilience : resilience_row list -> string
+
 (** {1 Ablations} *)
 
 val ablation_epsilon :

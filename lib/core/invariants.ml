@@ -56,12 +56,40 @@ let load_conservation ~expected_total ?(tolerance = 1e-6) dht =
       (Printf.sprintf "total load %g, expected %g (tolerance %g)" total
          expected_total bound)
 
+let dead_detached dht =
+  let err = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !err = None then err := Some s) fmt in
+  List.iter
+    (fun (n : Dht.node) ->
+      if n.Dht.alive then fail "dead_nodes lists alive node %d" n.Dht.node_id;
+      match n.Dht.vss with
+      | [] -> ()
+      | v :: _ ->
+        fail "dead node %d still lists VS %#x" n.Dht.node_id v.Dht.vs_id)
+    (Dht.dead_nodes dht);
+  match !err with None -> Ok () | Some e -> Error e
+
+let live_load_accounted ?(tolerance = 1e-6) dht =
+  (* Under churn, total load is conserved but must all be reachable
+     through *alive* nodes' VS lists — nothing stranded on the dead. *)
+  let live =
+    Dht.fold_nodes dht ~init:0.0 ~f:(fun acc n -> acc +. Dht.node_load n)
+  in
+  let total = Dht.total_load dht in
+  let bound = tolerance *. Float.max 1.0 (abs_float total) in
+  if abs_float (live -. total) <= bound then Ok ()
+  else
+    Error
+      (Printf.sprintf "live nodes hold %g of %g total load" live total)
+
 let tree t dht = Ktree.check_consistent t dht
 
 let all ?tree:kt ?expected_total dht =
   let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e in
   let* () = ring_partition dht in
   let* () = ownership dht in
+  let* () = dead_detached dht in
+  let* () = live_load_accounted dht in
   let* () = loads_nonnegative dht in
   let* () =
     match expected_total with

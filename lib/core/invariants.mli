@@ -19,6 +19,15 @@ val load_conservation :
 (** Total system load equals [expected_total] within [tolerance]
     (default 1e-6 relative). *)
 
+val dead_detached : 'a Dht.t -> (unit, string) result
+(** No departed/crashed node still lists a virtual server, and
+    everything in {!Dht.dead_nodes} is in fact dead — the live-node
+    scope of the other checks is trustworthy under churn. *)
+
+val live_load_accounted : ?tolerance:float -> 'a Dht.t -> (unit, string) result
+(** The load reachable through alive nodes' VS lists equals the ring
+    total: churn strands no load on dead nodes. *)
+
 val tree : Ktree.t -> 'a Dht.t -> (unit, string) result
 (** Delegates to {!Ktree.check_consistent}. *)
 

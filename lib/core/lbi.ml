@@ -1,6 +1,7 @@
 module Prng = P2plb_prng.Prng
 module Dht = P2plb_chord.Dht
 module Ktree = P2plb_ktree.Ktree
+module Faults = P2plb_sim.Faults
 
 let node_lbi (n : Dht.node) : Types.lbi =
   let l = Dht.node_load n in
@@ -11,8 +12,21 @@ let node_lbi (n : Dht.node) : Types.lbi =
 
 let zero_lbi : Types.lbi = { l = 0.0; c = 0.0; l_min = infinity }
 
-let aggregate ~rng tree dht =
+(* A report/disseminate send under fault injection: retried with
+   bounded backoff; [false] means the sender timed out and the message
+   is lost for this round (the round degrades gracefully rather than
+   stalling).  Without a fault plan every send succeeds untouched. *)
+let reliable faults =
+  match faults with
+  | None -> true
+  | Some f -> ( match Faults.send f with Faults.Delivered _ -> true | Faults.Lost -> false)
+
+let aggregate ~rng ?faults ?(route_messages = false) tree dht =
   if Dht.n_nodes dht = 0 then invalid_arg "Lbi.aggregate: no alive nodes";
+  (* Heal the tree before sweeping: KT nodes whose hosting VS died (or
+     lost its key) since the tree was built are re-planted, so reports
+     always find a live leaf. *)
+  ignore (Ktree.repair ~route_messages tree dht);
   (* Each node reports through one randomly chosen VS (to avoid
      redundant per-node reports); the VS hands the report to its
      designated KT leaf. *)
@@ -22,14 +36,15 @@ let aggregate ~rng tree dht =
   in
   Dht.fold_nodes dht ~init:() ~f:(fun () n ->
       let v = Dht.report_vs dht rng n in
-      match Hashtbl.find_opt assignment v.Dht.vs_id with
-      | None -> () (* cannot happen: every VS hosts a leaf *)
-      | Some leaf ->
-        let key = leaf.Ktree.key in
-        let existing =
-          match Hashtbl.find_opt per_leaf key with Some l -> l | None -> []
-        in
-        Hashtbl.replace per_leaf key (node_lbi n :: existing));
+      if reliable faults then
+        match Hashtbl.find_opt assignment v.Dht.vs_id with
+        | None -> () (* cannot happen: every VS hosts a leaf *)
+        | Some leaf ->
+          let key = leaf.Ktree.key in
+          let existing =
+            match Hashtbl.find_opt per_leaf key with Some l -> l | None -> []
+          in
+          Hashtbl.replace per_leaf key (node_lbi n :: existing));
   Ktree.sweep_up tree
     ~at_leaf:(fun leaf ->
       match Hashtbl.find_opt per_leaf leaf.Ktree.key with
@@ -42,13 +57,18 @@ let aggregate ~rng tree dht =
       ignore node;
       List.fold_left Types.lbi_combine zero_lbi children)
 
-let disseminate tree dht lbi =
-  ignore dht;
+let disseminate ?faults ?(route_messages = false) tree dht lbi =
+  (* Nodes may have died during aggregation; re-plant before pushing
+     the root value back down. *)
+  ignore (Ktree.repair ~route_messages tree dht);
+  (* The final hop, leaf -> reporting VS, rides the same lossy links
+     as the reports; losses are retried and, at worst, counted as
+     timeouts (the stale-LBI node re-reads it next round). *)
   Ktree.sweep_down tree ~at_root:lbi
     ~split:(fun _ v -> v)
-    ~at_leaf:(fun _ _ -> ())
+    ~at_leaf:(fun _ _ -> ignore (reliable faults))
 
-let run ~rng tree dht =
-  let lbi = aggregate ~rng tree dht in
-  disseminate tree dht lbi;
+let run ~rng ?faults ?route_messages tree dht =
+  let lbi = aggregate ~rng ?faults ?route_messages tree dht in
+  disseminate ?faults ?route_messages tree dht lbi;
   lbi

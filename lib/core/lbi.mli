@@ -1,6 +1,7 @@
 module Prng = P2plb_prng.Prng
 module Dht = P2plb_chord.Dht
 module Ktree = P2plb_ktree.Ktree
+module Faults = P2plb_sim.Faults
 
 (** Phase 1: load-balancing-information aggregation and dissemination
     (paper §3.2–§3.3).
@@ -10,18 +11,31 @@ module Ktree = P2plb_ktree.Ktree
     KT nodes combine reports bottom-up (sums for load and capacity,
     min for the minimum VS load), producing the system-wide
     [<L, C, L_min>] at the root, which is then disseminated top-down
-    to every node.  Both directions take O(log_K N) rounds. *)
+    to every node.  Both directions take O(log_K N) rounds.
+
+    Under a fault plan the phase is churn-resilient: the tree is
+    {!Ktree.repair}ed before each sweep so reports always find a live
+    leaf, and every report/disseminate send goes through the
+    retry-with-timeout wrapper — a report lost after all retries
+    simply leaves its node out of this round's aggregate (the round
+    degrades instead of stalling). *)
 
 val node_lbi : Dht.node -> Types.lbi
 (** [<L_i, C_i, L_{i,min}>] of one physical node.  [l_min] is
     [infinity] for a node hosting no VS. *)
 
-val aggregate : rng:Prng.t -> Ktree.t -> 'a Dht.t -> Types.lbi
+val aggregate :
+  rng:Prng.t -> ?faults:Faults.t -> ?route_messages:bool ->
+  Ktree.t -> 'a Dht.t -> Types.lbi
 (** Bottom-up aggregation over the current tree; returns the root's
     view.  Raises [Invalid_argument] if the DHT has no alive nodes. *)
 
-val disseminate : Ktree.t -> 'a Dht.t -> Types.lbi -> unit
+val disseminate :
+  ?faults:Faults.t -> ?route_messages:bool ->
+  Ktree.t -> 'a Dht.t -> Types.lbi -> unit
 (** Top-down push of the root LBI (message-counted on the tree). *)
 
-val run : rng:Prng.t -> Ktree.t -> 'a Dht.t -> Types.lbi
+val run :
+  rng:Prng.t -> ?faults:Faults.t -> ?route_messages:bool ->
+  Ktree.t -> 'a Dht.t -> Types.lbi
 (** {!aggregate} followed by {!disseminate}. *)

@@ -1,9 +1,19 @@
+module Dht = P2plb_chord.Dht
+module Engine = P2plb_sim.Engine
+module Faults = P2plb_sim.Faults
+
 type round = {
   index : int;
   heavy_before : int;
   heavy_after : int;
   moved_load : float;
   transfers : int;
+  live_nodes : int;
+  skipped : int;
+  repairs : int;
+  repair_messages : int;
+  retries : int;
+  timeouts : int;
 }
 
 type result = {
@@ -11,12 +21,54 @@ type result = {
   converged : bool;
   total_moved : float;
   final_heavy : int;
+  final_live : int;
+  total_repairs : int;
+  total_repair_messages : int;
+  total_retries : int;
+  total_timeouts : int;
+  crashes : int;
 }
 
-let run ?(config = Controller.default) ?(max_rounds = 10) scenario =
+(* Fault-plan crash events pick a victim by rank in [0,1) over the
+   nodes alive at firing time, so the same plan yields the same
+   victims regardless of how earlier rounds moved load.  A crash is
+   skipped (not retried) when it would empty the ring: the victim is
+   the last alive node, or hosts every remaining VS. *)
+let crash_by_rank dht ~rank =
+  let alive = Dht.alive_nodes dht in
+  let n = List.length alive in
+  if n > 1 then begin
+    let idx = min (n - 1) (int_of_float (rank *. float_of_int n)) in
+    let victim = List.nth alive idx in
+    if List.length victim.Dht.vss < Dht.n_vs dht then
+      Dht.crash dht victim.Dht.node_id
+  end
+
+let run ?(config = Controller.default) ?faults ?(max_rounds = 10) scenario =
   if max_rounds < 1 then invalid_arg "Multiround.run: max_rounds < 1";
+  let dht = scenario.Scenario.dht in
+  (* A round occupies one unit of simulated time; the fault plan's
+     crashes are spread over the whole horizon and fire at the phase
+     barriers inside Controller.run (mid-round churn). *)
+  let engine =
+    match faults with
+    | Some f when Faults.enabled f ->
+      let e = Engine.create () in
+      Faults.arm f e
+        ~horizon:(float_of_int max_rounds)
+        ~population:(Dht.n_nodes dht)
+        ~crash:(fun ~rank -> crash_by_rank dht ~rank);
+      Some e
+    | _ -> None
+  in
+  let crashes0 = match faults with Some f -> Faults.crashes f | None -> 0 in
   let rec go index acc total =
-    let o = Controller.run ~config scenario in
+    let o = Controller.run ~config ?faults ?engine scenario in
+    (* Drain this round's remaining fault events (e.g. crashes armed
+       in the last 30% of the round's time slice). *)
+    (match engine with
+    | Some e -> Engine.run_until e ~time:(float_of_int (index + 1))
+    | None -> ());
     let hb, _, _ = o.Controller.census_before in
     let ha, _, _ = o.Controller.census_after in
     let r =
@@ -26,27 +78,52 @@ let run ?(config = Controller.default) ?(max_rounds = 10) scenario =
         heavy_after = ha;
         moved_load = o.Controller.vst.Vst.moved_load;
         transfers = o.Controller.vst.Vst.transfers;
+        live_nodes = Dht.n_nodes dht;
+        skipped = o.Controller.vst.Vst.skipped;
+        repairs = o.Controller.kt_repairs;
+        repair_messages = o.Controller.kt_repair_messages;
+        retries = o.Controller.retries;
+        timeouts = o.Controller.timeouts;
       }
     in
     let acc = r :: acc and total = total +. r.moved_load in
     if ha = 0 || r.transfers = 0 || index + 1 >= max_rounds then
       let converged = ha = 0 || r.transfers = 0 in
+      let rounds = List.rev acc in
+      let sum f = List.fold_left (fun s r -> s + f r) 0 rounds in
       {
-        rounds = List.rev acc;
+        rounds;
         converged;
         total_moved = total;
         final_heavy = ha;
+        final_live = Dht.n_nodes dht;
+        total_repairs = sum (fun r -> r.repairs);
+        total_repair_messages = sum (fun r -> r.repair_messages);
+        total_retries = sum (fun r -> r.retries);
+        total_timeouts = sum (fun r -> r.timeouts);
+        crashes =
+          (match faults with
+          | Some f -> Faults.crashes f - crashes0
+          | None -> 0);
       }
     else go (index + 1) acc total
   in
   go 0 [] 0.0
 
 let pp fmt r =
-  Format.fprintf fmt "%d round(s), converged=%b, final heavy=%d@\n"
-    (List.length r.rounds) r.converged r.final_heavy;
+  Format.fprintf fmt "%d round(s), converged=%b, final heavy=%d/%d live@\n"
+    (List.length r.rounds) r.converged r.final_heavy r.final_live;
+  if r.crashes > 0 || r.total_retries > 0 || r.total_timeouts > 0 then
+    Format.fprintf fmt
+      "  churn: %d crashes, %d KT repairs, %d retries, %d timeouts@\n"
+      r.crashes r.total_repairs r.total_retries r.total_timeouts;
   List.iter
     (fun round ->
-      Format.fprintf fmt "  round %d: heavy %d -> %d, moved %.4g in %d transfers@\n"
-        round.index round.heavy_before round.heavy_after round.moved_load
-        round.transfers)
+      Format.fprintf fmt
+        "  round %d: heavy %d -> %d, moved %.4g in %d transfers" round.index
+        round.heavy_before round.heavy_after round.moved_load round.transfers;
+      if round.skipped > 0 || round.repairs > 0 then
+        Format.fprintf fmt " (%d skipped, %d repairs)" round.skipped
+          round.repairs;
+      Format.fprintf fmt "@\n")
     r.rounds

@@ -1,10 +1,19 @@
+module Faults = P2plb_sim.Faults
+
 (** Driving the load balancer to convergence.
 
     The paper's scheme runs periodically; one round usually suffices
     (Fig. 4), but adversarial load shapes (heavy Pareto tails, tiny
     epsilon) can need a few rounds, and a live system re-balances
     after every load drift.  This module iterates {!Controller.run}
-    until quiescence and reports per-round statistics. *)
+    until quiescence and reports per-round statistics.
+
+    With a fault plan the iteration doubles as a churn experiment: the
+    plan's node crashes are armed on a simulated clock spanning all
+    rounds and fire at the phase barriers inside each round, while
+    message loss stresses the retry layer.  Rounds then run on
+    whatever nodes remain, and convergence is judged against the live
+    population. *)
 
 type round = {
   index : int;  (** 0-based *)
@@ -12,6 +21,12 @@ type round = {
   heavy_after : int;
   moved_load : float;
   transfers : int;
+  live_nodes : int;  (** alive after the round *)
+  skipped : int;  (** transfers dropped (stale pairing after churn) *)
+  repairs : int;  (** KT nodes re-planted this round *)
+  repair_messages : int;
+  retries : int;
+  timeouts : int;
 }
 
 type result = {
@@ -21,14 +36,25 @@ type result = {
           moved nothing) *)
   total_moved : float;
   final_heavy : int;
+  final_live : int;
+  total_repairs : int;
+  total_repair_messages : int;
+  total_retries : int;
+  total_timeouts : int;
+  crashes : int;  (** fault-plan crashes that fired *)
 }
 
 val run :
   ?config:Controller.config ->
+  ?faults:Faults.t ->
   ?max_rounds:int ->
   Scenario.t ->
   result
 (** Runs up to [max_rounds] (default 10) rounds, stopping early when
-    no heavy nodes remain or a round makes no transfer. *)
+    no heavy nodes remain or a round makes no transfer.  When [faults]
+    is enabled, its crash schedule is armed over a horizon of
+    [max_rounds] simulated time units and every round is driven with
+    the fault plan attached; without it, behaviour is byte-identical
+    to the fault-free path. *)
 
 val pp : Format.formatter -> result -> unit

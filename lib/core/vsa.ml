@@ -5,6 +5,7 @@ module Dht = P2plb_chord.Dht
 module Ktree = P2plb_ktree.Ktree
 module Landmark = P2plb_landmark.Landmark
 module Hilbert = P2plb_hilbert.Hilbert
+module Faults = P2plb_sim.Faults
 
 type mode =
   | Ignorant
@@ -26,6 +27,9 @@ type result = {
   publish_hops : int;
   direct_messages : int;
   rounds : int;
+  stale_dropped : int;
+  records_lost : int;
+  assignments_lost : int;
 }
 
 let default_threshold = 30
@@ -69,8 +73,34 @@ let pool_of_records records =
   in
   Pairing.of_entries sheds lights
 
-let run ?(threshold = default_threshold) ?(epsilon = 0.0) ~mode ~rng ~lbi tree
-    dht =
+(* A record is stale when its reporter died (or a shed VS was absorbed
+   or re-owned) between reporting and rendezvous; pairing it would only
+   produce a doomed transfer, so the rendezvous drops it. *)
+let record_fresh dht = function
+  | Types.Shed s -> (
+    Dht.is_alive dht s.Types.heavy_node
+    &&
+    match Dht.vs_of_id dht s.Types.vs_id with
+    | Some v -> v.Dht.owner = s.Types.heavy_node
+    | None -> false)
+  | Types.Light l -> Dht.is_alive dht l.Types.light_node
+
+let run ?(threshold = default_threshold) ?(epsilon = 0.0) ?faults
+    ?(route_messages = false) ~mode ~rng ~lbi tree dht =
+  (* Heal KT nodes orphaned by churn since the last sweep, so record
+     injection and the rendezvous sweep run against live hosts. *)
+  ignore (Ktree.repair ~route_messages tree dht);
+  let send () =
+    match faults with
+    | None -> Some 1
+    | Some f -> (
+      match Faults.send f with
+      | Faults.Delivered attempts -> Some attempts
+      | Faults.Lost -> None)
+  in
+  let records_lost = ref 0 in
+  let stale_dropped = ref 0 in
+  let assignments_lost = ref 0 in
   let nodes = Dht.alive_nodes dht in
   let n_heavy = ref 0 and n_light = ref 0 and n_neutral = ref 0 in
   let publish_hops = ref 0 in
@@ -111,17 +141,29 @@ let run ?(threshold = default_threshold) ?(epsilon = 0.0) ~mode ~rng ~lbi tree
     List.iter
       (fun (n, r) ->
         let v = Dht.report_vs dht rng n in
-        match Hashtbl.find_opt assignment v.Dht.vs_id with
-        | Some leaf -> report_to_leaf leaf r
-        | None -> ())
+        match send () with
+        | None -> incr records_lost
+        | Some _ -> (
+          match Hashtbl.find_opt assignment v.Dht.vs_id with
+          | Some leaf -> report_to_leaf leaf r
+          | None -> ()))
       all_records
   | Aware { space; order; curve; binning } ->
+    let failed =
+      match faults with
+      | None -> []
+      | Some f -> Faults.failed_landmarks f ~m:(Landmark.m space)
+    in
     (* Publish records into the DHT keyed by Hilbert number... *)
     List.iter
       (fun (n, r) ->
-        let key = Landmark.dht_key ~curve ~binning space ~order n.Dht.underlay in
+        let key =
+          Landmark.dht_key ~curve ~binning ~failed space ~order n.Dht.underlay
+        in
         let from = (Dht.report_vs dht rng n).Dht.vs_id in
-        publish_hops := !publish_hops + Dht.put dht ~from ~key r)
+        match send () with
+        | None -> incr records_lost
+        | Some _ -> publish_hops := !publish_hops + Dht.put dht ~from ~key r)
       all_records;
     (* ... then every VS reports what landed in its region to its
        designated leaf. *)
@@ -137,11 +179,25 @@ let run ?(threshold = default_threshold) ?(epsilon = 0.0) ~mode ~rng ~lbi tree
   (* Bottom-up rendezvous sweep. *)
   let assignments = ref [] in
   let direct_messages = ref 0 in
+  let notify (a : Types.assignment) =
+    (* Both endpoints must learn of the pairing; either notification
+       timing out abandons the assignment (its entries are simply not
+       rebalanced this round). *)
+    match (send (), send ()) with
+    | Some m1, Some m2 ->
+      direct_messages := !direct_messages + m1 + m2;
+      assignments := a :: !assignments
+    | _ -> incr assignments_lost
+  in
   let pair_here depth pool =
     let made, leftover = Pairing.pair ~depth ~l_min:lbi.Types.l_min pool in
-    assignments := List.rev_append made !assignments;
-    direct_messages := !direct_messages + (2 * List.length made);
+    List.iter notify made;
     leftover
+  in
+  let fresh_pool records =
+    let live, stale = List.partition (record_fresh dht) records in
+    stale_dropped := !stale_dropped + List.length stale;
+    pool_of_records live
   in
   let root_pool =
     Ktree.sweep_up tree
@@ -149,7 +205,7 @@ let run ?(threshold = default_threshold) ?(epsilon = 0.0) ~mode ~rng ~lbi tree
         let pool =
           match Hashtbl.find_opt per_leaf leaf.Ktree.key with
           | None -> Pairing.empty
-          | Some records -> pool_of_records records
+          | Some records -> fresh_pool records
         in
         if Pairing.size pool >= threshold then pair_here leaf.Ktree.depth pool
         else pool)
@@ -170,4 +226,7 @@ let run ?(threshold = default_threshold) ?(epsilon = 0.0) ~mode ~rng ~lbi tree
     publish_hops = !publish_hops;
     direct_messages = !direct_messages;
     rounds = Ktree.rounds_last_sweep tree;
+    stale_dropped = !stale_dropped;
+    records_lost = !records_lost;
+    assignments_lost = !assignments_lost;
   }

@@ -4,6 +4,7 @@ module Dht = P2plb_chord.Dht
 module Ktree = P2plb_ktree.Ktree
 module Landmark = P2plb_landmark.Landmark
 module Hilbert = P2plb_hilbert.Hilbert
+module Faults = P2plb_sim.Faults
 
 (** Phase 3: virtual-server assignment (paper §3.4 and §4.3).
 
@@ -44,6 +45,13 @@ type result = {
   publish_hops : int;     (** overlay hops spent publishing (aware mode) *)
   direct_messages : int;  (** rendezvous→endpoint notifications *)
   rounds : int;
+  stale_dropped : int;
+      (** records dropped at rendezvous because their reporter died (or
+          its shed VS vanished/changed owner) mid-round *)
+  records_lost : int;
+      (** records whose publication/report timed out after all retries *)
+  assignments_lost : int;
+      (** pairings abandoned because an endpoint notification timed out *)
 }
 
 val default_threshold : int
@@ -52,6 +60,8 @@ val default_threshold : int
 val run :
   ?threshold:int ->
   ?epsilon:float ->
+  ?faults:Faults.t ->
+  ?route_messages:bool ->
   mode:mode ->
   rng:Prng.t ->
   lbi:Types.lbi ->
@@ -59,4 +69,11 @@ val run :
   Types.vsa_record Dht.t ->
   result
 (** One full VSA sweep against the current ring and tree.  In [Aware]
-    mode, published records are cleared from DHT storage afterwards. *)
+    mode, published records are cleared from DHT storage afterwards.
+
+    Churn resilience: the tree is {!Ktree.repair}ed first; record
+    publications and rendezvous→endpoint notifications go through the
+    fault plan's retry/timeout wrapper; stale records from dead
+    reporters are dropped at the rendezvous instead of producing
+    doomed transfers; failed landmarks degrade the proximity signal
+    of the affected axes only. *)

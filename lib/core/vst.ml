@@ -8,6 +8,9 @@ type result = {
   moved_load : float;
   transfers : int;
   skipped : int;
+  skipped_vs_gone : int;
+  skipped_owner_changed : int;
+  skipped_dest_dead : int;
   restructure_messages : int;
 }
 
@@ -15,7 +18,9 @@ let apply ?tree ~oracle dht assignments =
   let hist = Histogram.create () in
   let moved_load = ref 0.0 in
   let transfers = ref 0 in
-  let skipped = ref 0 in
+  let skipped_vs_gone = ref 0 in
+  let skipped_owner_changed = ref 0 in
+  let skipped_dest_dead = ref 0 in
   let restructure = ref 0 in
   (* KT nodes planted per VS, for lazy-migration accounting. *)
   let kt_per_vs : (P2plb_idspace.Id.t, int) Hashtbl.t = Hashtbl.create 256 in
@@ -52,7 +57,9 @@ let apply ?tree ~oracle dht assignments =
             | None -> 0
           in
           restructure := !restructure + (kt_count * (Ktree.k t + 1)))
-      | Some _ | None -> incr skipped)
+      | None -> incr skipped_vs_gone
+      | Some v when v.Dht.owner <> a.a_from -> incr skipped_owner_changed
+      | Some _ -> incr skipped_dest_dead)
     assignments;
   (* Lazy migration: the tree re-checks its planting after the whole
      VSA/VST round (hosts are VS ids, so structure is unchanged; this
@@ -62,7 +69,10 @@ let apply ?tree ~oracle dht assignments =
     hist;
     moved_load = !moved_load;
     transfers = !transfers;
-    skipped = !skipped;
+    skipped = !skipped_vs_gone + !skipped_owner_changed + !skipped_dest_dead;
+    skipped_vs_gone = !skipped_vs_gone;
+    skipped_owner_changed = !skipped_owner_changed;
+    skipped_dest_dead = !skipped_dest_dead;
     restructure_messages = !restructure;
   }
 

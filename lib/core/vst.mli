@@ -17,8 +17,16 @@ type result = {
   moved_load : float;
   transfers : int;
   skipped : int;
-      (** assignments that could not be applied (VS vanished or target
-          died between VSA and VST) *)
+      (** assignments that could not be applied — the sum of the three
+          per-cause counters below *)
+  skipped_vs_gone : int;
+      (** the shed VS left the ring (its owner died and the successor
+          absorbed it) between VSA and VST *)
+  skipped_owner_changed : int;
+      (** the VS exists but is no longer owned by the pairing's heavy
+          node (e.g. an earlier transfer re-homed it) *)
+  skipped_dest_dead : int;
+      (** the assigned light node died before the transfer landed *)
   restructure_messages : int;
 }
 

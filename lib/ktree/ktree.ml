@@ -15,6 +15,8 @@ type t = {
   mutable root : kt_node;
   mutable msg : int;
   mutable last_rounds : int;
+  mutable repaired : int;
+  mutable repair_msg : int;
 }
 
 let k t = t.k
@@ -22,10 +24,14 @@ let root t = t.root
 let is_leaf n = Array.for_all (fun c -> c = None) n.children
 let messages t = t.msg
 let rounds_last_sweep t = t.last_rounds
+let repairs t = t.repaired
+let repair_messages t = t.repair_msg
 
 let reset_counters t =
   t.msg <- 0;
-  t.last_rounds <- 0
+  t.last_rounds <- 0;
+  t.repaired <- 0;
+  t.repair_msg <- 0
 
 (* The VS hosting a KT node covers the KT node's whole region: the KT
    node needs no children (§3.1's leaf test). *)
@@ -84,7 +90,7 @@ let build ?(route_messages = false) ~k dht =
       children = Array.make k None;
     }
   in
-  let t = { k; root; msg = 1; last_rounds = 0 } in
+  let t = { k; root; msg = 1; last_rounds = 0; repaired = 0; repair_msg = 0 } in
   grow ~route_messages t dht root;
   t
 
@@ -156,6 +162,83 @@ let refresh ?(route_messages = false) t dht =
   (* The root's host may have changed; it is re-located determin-
      istically at the centre of the whole space. *)
   visit t.root
+
+(* A KT node is broken when its hosting VS left the ring (its owner
+   died) or still exists but no longer owns the node's centre key (the
+   region boundary moved under churn). *)
+let broken dht n =
+  match Dht.vs_of_id dht n.host with
+  | None -> true
+  | Some _ -> (Dht.owner_of_key dht n.key).Dht.vs_id <> n.host
+
+let repair ?(route_messages = false) t dht =
+  let repaired_now = ref 0 in
+  (* Re-plant one broken node.  [from] is a VS known to be live (the
+     nearest live ancestor's host) that issues the recovery lookup; if
+     even that is gone, the key's new owner discovers the orphan
+     locally (zero hops). *)
+  let replant ~from n =
+    let host =
+      if route_messages then begin
+        let from =
+          match Dht.vs_of_id dht from with
+          | Some _ -> from
+          | None -> (Dht.owner_of_key dht n.key).Dht.vs_id
+        in
+        let v, hops = Dht.lookup dht ~from ~key:n.key in
+        t.msg <- t.msg + hops;
+        t.repair_msg <- t.repair_msg + hops;
+        v
+      end
+      else Dht.owner_of_key dht n.key
+    in
+    n.host <- host.Dht.vs_id;
+    (* Re-planting notifies parent and children: at most K+1 msgs. *)
+    t.msg <- t.msg + t.k + 1;
+    t.repair_msg <- t.repair_msg + t.k + 1;
+    t.repaired <- t.repaired + 1;
+    incr repaired_now
+  in
+  let rec visit ~from n =
+    if broken dht n then replant ~from n;
+    if covered_by_host dht n then
+      (* Became a leaf (e.g. its host absorbed a dead neighbour's
+         region): prune now-redundant children. *)
+      Array.iteri
+        (fun i c ->
+          match c with
+          | Some _ ->
+            t.msg <- t.msg + 1;
+            t.repair_msg <- t.repair_msg + 1;
+            n.children.(i) <- None
+          | None -> ())
+        n.children
+    else begin
+      (* Like {!grow}, but heal every child before descending so
+         recovery lookups are never issued from a dead VS, and charge
+         the re-grown subtree to the repair budget. *)
+      let parts = Region.split n.region t.k in
+      Array.iteri
+        (fun i part ->
+          if (not (Region.is_empty part)) && n.children.(i) = None then begin
+            let m0 = t.msg in
+            let child =
+              plant ~route_messages t dht ~from:n.host part (n.depth + 1)
+            in
+            t.msg <- t.msg + 1;
+            t.repair_msg <- t.repair_msg + (t.msg - m0);
+            n.children.(i) <- Some child;
+            visit ~from:n.host child
+          end
+          else
+            match n.children.(i) with
+            | Some child -> visit ~from:n.host child
+            | None -> ())
+        parts
+    end
+  in
+  visit ~from:t.root.host t.root;
+  !repaired_now
 
 let check_consistent t dht =
   let error = ref None in

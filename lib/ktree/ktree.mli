@@ -56,6 +56,16 @@ val refresh : ?route_messages:bool -> t -> 'a Dht.t -> unit
     VS, prune children of nodes that became leaves, grow children that
     became necessary.  Idempotent once the ring is stable. *)
 
+val repair : ?route_messages:bool -> t -> 'a Dht.t -> int
+(** Reactive self-repair, run before a sweep traverses the tree under
+    churn: detect KT nodes whose hosting VS is dead or no longer owns
+    the node's centre key, re-plant each via a DHT lookup issued from
+    the nearest live ancestor, then prune/grow the affected subtrees
+    against the current ring.  Unlike {!refresh} it touches only
+    broken nodes, so it is free (and counts nothing) on a healthy
+    ring.  Returns the number of KT nodes re-planted this pass;
+    cumulative costs are exposed by {!repairs} / {!repair_messages}. *)
+
 val check_consistent : t -> 'a Dht.t -> (unit, string) result
 (** Structural invariants: root covers the ring, children partition
     their parent's region, every KT node is planted at its region's
@@ -98,5 +108,12 @@ val messages : t -> int
 
 val rounds_last_sweep : t -> int
 (** Rounds (tree levels traversed) of the most recent sweep. *)
+
+val repairs : t -> int
+(** KT nodes re-planted by {!repair} so far. *)
+
+val repair_messages : t -> int
+(** Messages spent on {!repair} passes (also included in
+    {!messages}). *)
 
 val reset_counters : t -> unit

@@ -81,27 +81,36 @@ let quantile_cell sorted_row cells d =
   let rank = lower 0 n in
   min (cells - 1) (rank * cells / n)
 
-let grid_coords ?(binning = Equal_width) s ~order v =
+let grid_coords ?(binning = Equal_width) ?(failed = []) s ~order v =
   if order < 1 then invalid_arg "Landmark.grid_coords: order < 1";
   let cells = 1 lsl order in
-  match binning with
-  | Equal_width ->
-    let scale d =
-      let d = if d = max_int then s.d_max else d in
-      min (cells - 1) (d * cells / (s.d_max + 1))
-    in
-    Array.map (fun row -> scale row.(v)) s.dists
-  | Quantile ->
-    Array.mapi
-      (fun l row -> quantile_cell s.sorted_dists.(l) cells row.(v))
-      s.dists
+  let coords =
+    match binning with
+    | Equal_width ->
+      let scale d =
+        let d = if d = max_int then s.d_max else d in
+        min (cells - 1) (d * cells / (s.d_max + 1))
+      in
+      Array.map (fun row -> scale row.(v)) s.dists
+    | Quantile ->
+      Array.mapi
+        (fun l row -> quantile_cell s.sorted_dists.(l) cells row.(v))
+        s.dists
+  in
+  (* A failed landmark answers no probes: every node reads the axis as
+     maximal distance, collapsing it to a constant (it carries no
+     proximity information but perturbs no other axis). *)
+  List.iter
+    (fun l -> if l >= 0 && l < Array.length coords then coords.(l) <- cells - 1)
+    failed;
+  coords
 
-let hilbert_number ?(curve = Hilbert.Hilbert) ?binning s ~order v =
-  let coords = grid_coords ?binning s ~order v in
+let hilbert_number ?(curve = Hilbert.Hilbert) ?binning ?failed s ~order v =
+  let coords = grid_coords ?binning ?failed s ~order v in
   Hilbert.encode_curve curve ~dims:(m s) ~order coords
 
-let dht_key ?(curve = Hilbert.Hilbert) ?binning s ~order v =
-  let idx = hilbert_number ~curve ?binning s ~order v in
+let dht_key ?(curve = Hilbert.Hilbert) ?binning ?failed s ~order v =
+  let idx = hilbert_number ~curve ?binning ?failed s ~order v in
   let bits = m s * order in
   if bits >= Id.bits then Id.of_int (idx lsr (bits - Id.bits))
   else Id.of_int (idx lsl (Id.bits - bits))

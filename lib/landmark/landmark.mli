@@ -48,16 +48,22 @@ type binning =
           vertices, so resolution concentrates where nodes actually
           differ *)
 
-val grid_coords : ?binning:binning -> space -> order:int -> int -> int array
+val grid_coords :
+  ?binning:binning -> ?failed:int list -> space -> order:int -> int -> int array
 (** Landmark vector quantised to [order]-bit grid coordinates per
-    axis (default {!Equal_width}). *)
+    axis (default {!Equal_width}).  [failed] lists landmark indices
+    whose probes time out (fault injection): those axes read as
+    maximal distance for every node, degrading — but not corrupting —
+    the proximity signal. *)
 
 val hilbert_number :
-  ?curve:Hilbert.curve -> ?binning:binning -> space -> order:int -> int -> int
+  ?curve:Hilbert.curve -> ?binning:binning -> ?failed:int list ->
+  space -> order:int -> int -> int
 (** The curve index of the vertex's grid cell (default curve:
     {!Hilbert.Hilbert}).  Requires [m * order <= 62]. *)
 
 val dht_key :
-  ?curve:Hilbert.curve -> ?binning:binning -> space -> order:int -> int -> Id.t
+  ?curve:Hilbert.curve -> ?binning:binning -> ?failed:int list ->
+  space -> order:int -> int -> Id.t
 (** The Hilbert number scaled onto the 32-bit ring: close Hilbert
     numbers map to close identifiers. *)

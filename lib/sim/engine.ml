@@ -14,10 +14,15 @@ and t = {
   mutable next_seq : int;
 }
 
+(* Placeholder for empty heap slots: popped events must not linger in
+   the array, or their action closures (and everything they capture)
+   stay reachable long after firing. *)
+let dummy_event = { time = 0.0; seq = 0; action = ignore; h = { cancelled = true } }
+
 let create () =
   {
     clock = 0.0;
-    heap = Array.make 64 { time = 0.0; seq = 0; action = ignore; h = { cancelled = true } };
+    heap = Array.make 64 dummy_event;
     size = 0;
     next_seq = 0;
   }
@@ -48,6 +53,7 @@ let pop t =
   let top = t.heap.(0) in
   t.size <- t.size - 1;
   t.heap.(0) <- t.heap.(t.size);
+  t.heap.(t.size) <- dummy_event;
   let i = ref 0 in
   let continue = ref true in
   while !continue do

@@ -1,0 +1,142 @@
+module Prng = P2plb_prng.Prng
+
+type config = {
+  crash_fraction : float;
+  message_loss : float;
+  max_attempts : int;
+  backoff_base : float;
+  backoff_factor : float;
+  landmark_failures : int;
+}
+
+let none =
+  {
+    crash_fraction = 0.0;
+    message_loss = 0.0;
+    max_attempts = 1;
+    backoff_base = 0.0;
+    backoff_factor = 1.0;
+    landmark_failures = 0;
+  }
+
+let churn ?(crash_fraction = 0.1) ?(message_loss = 0.01)
+    ?(landmark_failures = 0) () =
+  {
+    crash_fraction;
+    message_loss;
+    max_attempts = 4;
+    backoff_base = 0.01;
+    backoff_factor = 2.0;
+    landmark_failures;
+  }
+
+type t = {
+  config : config;
+  loss_rng : Prng.t;  (* per-message drop decisions *)
+  plan_rng : Prng.t;  (* crash times and victim ranks *)
+  landmark_seed : int;
+  mutable retries : int;
+  mutable timeouts : int;
+  mutable drops : int;
+  mutable crashes : int;
+  mutable backoff_time : float;
+}
+
+let create ~seed config =
+  if config.crash_fraction < 0.0 || config.crash_fraction >= 1.0 then
+    invalid_arg "Faults.create: crash_fraction outside [0, 1)";
+  if config.message_loss < 0.0 || config.message_loss >= 1.0 then
+    invalid_arg "Faults.create: message_loss outside [0, 1)";
+  if config.max_attempts < 1 then invalid_arg "Faults.create: max_attempts < 1";
+  if config.landmark_failures < 0 then
+    invalid_arg "Faults.create: landmark_failures < 0";
+  let master = Prng.create ~seed in
+  let loss_rng = Prng.split master in
+  let plan_rng = Prng.split master in
+  let landmark_seed = Int64.to_int (Prng.bits64 master) in
+  {
+    config;
+    loss_rng;
+    plan_rng;
+    landmark_seed;
+    retries = 0;
+    timeouts = 0;
+    drops = 0;
+    crashes = 0;
+    backoff_time = 0.0;
+  }
+
+let config t = t.config
+
+let enabled t =
+  t.config.crash_fraction > 0.0
+  || t.config.message_loss > 0.0
+  || t.config.landmark_failures > 0
+
+type send_outcome = Delivered of int | Lost
+
+let deliver t =
+  if t.config.message_loss <= 0.0 then true
+  else if Prng.unit_float t.loss_rng < t.config.message_loss then begin
+    t.drops <- t.drops + 1;
+    false
+  end
+  else true
+
+let send t =
+  if t.config.message_loss <= 0.0 then Delivered 1
+  else begin
+    let rec attempt n timeout =
+      if deliver t then begin
+        t.retries <- t.retries + (n - 1);
+        Delivered n
+      end
+      else if n >= t.config.max_attempts then begin
+        t.retries <- t.retries + (n - 1);
+        t.timeouts <- t.timeouts + 1;
+        Lost
+      end
+      else begin
+        t.backoff_time <- t.backoff_time +. timeout;
+        attempt (n + 1) (timeout *. t.config.backoff_factor)
+      end
+    in
+    attempt 1 t.config.backoff_base
+  end
+
+let arm t engine ~horizon ~population ~crash =
+  if horizon <= 0.0 then invalid_arg "Faults.arm: horizon <= 0";
+  if population < 0 then invalid_arg "Faults.arm: population < 0";
+  let n_crashes =
+    int_of_float (Float.round (t.config.crash_fraction *. float_of_int population))
+  in
+  for _ = 1 to n_crashes do
+    let delay = Prng.float t.plan_rng horizon in
+    let rank = Prng.unit_float t.plan_rng in
+    ignore
+      (Engine.schedule engine ~delay (fun _ ->
+           t.crashes <- t.crashes + 1;
+           crash ~rank))
+  done
+
+let failed_landmarks t ~m =
+  let k = min t.config.landmark_failures m in
+  if k = 0 then []
+  else begin
+    let rng = Prng.create ~seed:t.landmark_seed in
+    let picks = Prng.sample_distinct rng ~n:k ~universe:m in
+    List.sort Int.compare (Array.to_list picks)
+  end
+
+let retries t = t.retries
+let timeouts t = t.timeouts
+let drops t = t.drops
+let crashes t = t.crashes
+let backoff_time t = t.backoff_time
+
+let reset_counters t =
+  t.retries <- 0;
+  t.timeouts <- 0;
+  t.drops <- 0;
+  t.crashes <- 0;
+  t.backoff_time <- 0.0

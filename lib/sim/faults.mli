@@ -1,0 +1,110 @@
+module Prng = P2plb_prng.Prng
+
+(** Deterministic fault injection.
+
+    A fault plan is derived entirely from a seed: node-crash schedules
+    (armed as {!Engine} events), a per-message loss stream consumed by
+    the reliable-send wrapper, and optional landmark failures.  Every
+    draw flows through private SplitMix64 streams, so a plan replayed
+    with the same seed injects byte-identical faults — experiments stay
+    reproducible under churn.
+
+    The layer is strictly pay-for-what-you-use: with [message_loss = 0]
+    {!send} consumes no randomness and always delivers on the first
+    attempt, and a plan built from {!none} arms no crashes, so a run
+    with the fault layer disabled is bit-identical to one without it. *)
+
+type config = {
+  crash_fraction : float;
+      (** fraction of the initial population crashed over the horizon
+          passed to {!arm} (fail-stop, uniform random times) *)
+  message_loss : float;  (** per-attempt drop probability in [0, 1) *)
+  max_attempts : int;
+      (** total send attempts before the sender gives up (>= 1) *)
+  backoff_base : float;
+      (** retransmission timeout before the first retry (sim time) *)
+  backoff_factor : float;
+      (** timeout multiplier per further retry (bounded backoff) *)
+  landmark_failures : int;
+      (** landmark nodes that stop answering probes; their axes read
+          as maximal distance *)
+}
+
+val none : config
+(** All-zero plan: no crashes, no loss, no landmark failures. *)
+
+val churn :
+  ?crash_fraction:float ->
+  ?message_loss:float ->
+  ?landmark_failures:int ->
+  unit ->
+  config
+(** [churn ()] is the standard churn plan: 10% crashes, 1% message
+    loss, 4 attempts, exponential backoff (0.01 base, doubling). *)
+
+type t
+
+val create : seed:int -> config -> t
+(** Plans with equal seeds and configs inject identical faults. *)
+
+val config : t -> config
+
+val enabled : t -> bool
+(** Whether the plan can inject anything at all. *)
+
+(** {1 Message loss and reliable send} *)
+
+type send_outcome =
+  | Delivered of int  (** total attempts used, >= 1 *)
+  | Lost  (** all [max_attempts] were dropped; the sender timed out *)
+
+val send : t -> send_outcome
+(** One reliable send: attempts are dropped independently with
+    probability [message_loss]; each retry is preceded by the bounded
+    exponential backoff and counted.  Consumes no randomness when
+    [message_loss <= 0]. *)
+
+val deliver : t -> bool
+(** One unreliable (single-attempt) send; [true] when it gets through.
+    Consumes no randomness when [message_loss <= 0]. *)
+
+(** {1 Crash schedule} *)
+
+val arm :
+  t ->
+  Engine.t ->
+  horizon:float ->
+  population:int ->
+  crash:(rank:float -> unit) ->
+  unit
+(** Schedules [round (crash_fraction * population)] crash events at
+    plan-deterministic times uniform over [(now, now + horizon)].
+    Each fires [crash ~rank] with [rank] uniform in [0, 1): the victim
+    is the rank-th of whatever nodes are alive at fire time, keeping
+    the schedule meaningful as the population shrinks. *)
+
+(** {1 Landmark failures} *)
+
+val failed_landmarks : t -> m:int -> int list
+(** The (stable, plan-deterministic) indices of failed landmark axes
+    out of [m]; empty when [landmark_failures = 0]. *)
+
+(** {1 Counters} *)
+
+val retries : t -> int
+(** Retransmissions performed by {!send} so far. *)
+
+val timeouts : t -> int
+(** Sends abandoned after [max_attempts] attempts. *)
+
+val drops : t -> int
+(** Individual message-loss events (including retried ones). *)
+
+val crashes : t -> int
+(** Crash events fired so far by armed schedules. *)
+
+val backoff_time : t -> float
+(** Total simulated time spent waiting in retransmission backoff. *)
+
+val reset_counters : t -> unit
+(** Zeroes the counters; does not rewind the random streams. *)

@@ -1,0 +1,169 @@
+module Prng = P2plb_prng.Prng
+module Dht = P2plb_chord.Dht
+module Ktree = P2plb_ktree.Ktree
+module Engine = P2plb_sim.Engine
+module Faults = P2plb_sim.Faults
+module Scenario = P2plb.Scenario
+module Controller = P2plb.Controller
+module Multiround = P2plb.Multiround
+module Lbi = P2plb.Lbi
+module Invariants = P2plb.Invariants
+module Types = P2plb.Types
+
+let check = Alcotest.check
+
+let close ?(tol = 1e-6) msg a b =
+  check Alcotest.bool msg true
+    (abs_float (a -. b) <= tol *. Float.max 1.0 (abs_float a))
+
+let small_config n_nodes = { Scenario.default with Scenario.n_nodes }
+
+(* Kill the physical node hosting an interior KT node between sweeps:
+   repair must re-plant the orphans, restore the structural
+   invariants, and the next LBI sweep must aggregate exactly the live
+   population's load and capacity. *)
+let test_kt_repair_after_host_death () =
+  let s = Scenario.build ~seed:7 (small_config 128) in
+  let dht = s.Scenario.dht in
+  let tree = Ktree.build ~k:2 dht in
+  let interior =
+    Ktree.fold_nodes tree ~init:None ~f:(fun acc n ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          if Array.exists Option.is_some n.Ktree.children then Some n else None)
+  in
+  let n = Option.get interior in
+  let owner = (Option.get (Dht.vs_of_id dht n.Ktree.host)).Dht.owner in
+  Dht.crash dht owner;
+  let repaired = Ktree.repair tree dht in
+  check Alcotest.bool "orphaned KT nodes re-planted" true (repaired > 0);
+  check Alcotest.int "repair counter matches" repaired (Ktree.repairs tree);
+  check Alcotest.bool "repair messages charged" true
+    (Ktree.repair_messages tree > 0);
+  (match Ktree.check_consistent tree dht with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("tree inconsistent after repair: " ^ e));
+  (* a healthy tree repairs for free *)
+  check Alcotest.int "second repair is a no-op" 0 (Ktree.repair tree dht);
+  let lbi = Lbi.run ~rng:s.Scenario.rng tree dht in
+  let live_load =
+    Dht.fold_nodes dht ~init:0.0 ~f:(fun a n -> a +. Dht.node_load n)
+  in
+  let live_cap =
+    Dht.fold_nodes dht ~init:0.0 ~f:(fun a n -> a +. n.Dht.capacity)
+  in
+  close "LBI load = live-node sum" live_load lbi.Types.l;
+  close "LBI capacity = live-node sum" live_cap lbi.Types.c;
+  match Invariants.all ~tree dht with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("invariants after repair: " ^ e)
+
+(* A disabled fault plan (and an attached engine) must not perturb the
+   round at all: every statistic matches the plain run exactly. *)
+let test_disabled_faults_zero_overhead () =
+  let o1 = Controller.run (Scenario.build ~seed:3 (small_config 128)) in
+  let faults = Faults.create ~seed:5 Faults.none in
+  let engine = Engine.create () in
+  let o2 =
+    Controller.run ~faults ~engine (Scenario.build ~seed:3 (small_config 128))
+  in
+  check Alcotest.bool "lbi identical" true (o1.Controller.lbi = o2.Controller.lbi);
+  check Alcotest.bool "census before identical" true
+    (o1.Controller.census_before = o2.Controller.census_before);
+  check Alcotest.bool "census after identical" true
+    (o1.Controller.census_after = o2.Controller.census_after);
+  check Alcotest.bool "unit loads identical" true
+    (o1.Controller.unit_loads_after = o2.Controller.unit_loads_after);
+  check (Alcotest.float 0.0) "moved load identical"
+    o1.Controller.vst.P2plb.Vst.moved_load o2.Controller.vst.P2plb.Vst.moved_load;
+  check Alcotest.int "transfers identical" o1.Controller.vst.P2plb.Vst.transfers
+    o2.Controller.vst.P2plb.Vst.transfers;
+  check Alcotest.int "tree messages identical" o1.Controller.tree_messages
+    o2.Controller.tree_messages;
+  check Alcotest.int "no retries" 0 o2.Controller.retries;
+  check Alcotest.int "no timeouts" 0 o2.Controller.timeouts;
+  check Alcotest.int "no repairs" 0 o2.Controller.kt_repairs;
+  check Alcotest.int "no repair messages" 0 o2.Controller.kt_repair_messages;
+  check Alcotest.int "no crashes" 0 o2.Controller.crashes_mid_round;
+  check Alcotest.int "no skips" 0 o2.Controller.vst.P2plb.Vst.skipped;
+  check Alcotest.int "no stale records" 0 o2.Controller.vsa.P2plb.Vsa.stale_dropped
+
+(* Multiround under the standard churn plan: crashes fire mid-round,
+   yet the system converges on the survivors and every invariant holds
+   (including that dead nodes hold neither VSs nor load). *)
+let test_convergence_under_churn () =
+  let s = Scenario.build ~seed:1 (small_config 256) in
+  let dht = s.Scenario.dht in
+  let total = Dht.total_load dht in
+  let faults = Faults.create ~seed:1 (Faults.churn ()) in
+  let r = Multiround.run ~faults ~max_rounds:3 s in
+  check Alcotest.bool "crashes fired" true (r.Multiround.crashes > 0);
+  check Alcotest.bool "population shrank" true
+    (r.Multiround.final_live < 256 && r.Multiround.final_live > 0);
+  check Alcotest.bool "KT repaired" true (r.Multiround.total_repairs > 0);
+  let heavy_frac =
+    float_of_int r.Multiround.final_heavy
+    /. float_of_int r.Multiround.final_live
+  in
+  check Alcotest.bool "<=10% of survivors heavy" true (heavy_frac <= 0.10);
+  (match Invariants.all ~expected_total:total dht with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("invariants under churn: " ^ e));
+  match Invariants.dead_detached dht with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+(* The whole churn experiment replays bit-identically from the seed. *)
+let test_churn_replay_determinism () =
+  let once () =
+    let s = Scenario.build ~seed:11 (small_config 256) in
+    let faults = Faults.create ~seed:11 (Faults.churn ~message_loss:0.02 ()) in
+    Multiround.run ~faults ~max_rounds:4 s
+  in
+  let r1 = once () and r2 = once () in
+  check Alcotest.bool "round-by-round stats identical" true
+    (r1.Multiround.rounds = r2.Multiround.rounds);
+  check (Alcotest.float 0.0) "moved load identical" r1.Multiround.total_moved
+    r2.Multiround.total_moved;
+  check Alcotest.int "crashes identical" r1.Multiround.crashes
+    r2.Multiround.crashes;
+  check Alcotest.int "retries identical" r1.Multiround.total_retries
+    r2.Multiround.total_retries
+
+(* Message loss without crashes: the retry layer absorbs it — reports
+   get through or are counted, and the round still balances. *)
+let test_loss_only_round () =
+  let s = Scenario.build ~seed:2 (small_config 256) in
+  let faults =
+    Faults.create ~seed:2
+      (Faults.churn ~crash_fraction:0.0 ~message_loss:0.05 ())
+  in
+  let o = Controller.run ~faults s in
+  check Alcotest.bool "retries happened" true (o.Controller.retries > 0);
+  check Alcotest.int "no crashes without a schedule" 0
+    o.Controller.crashes_mid_round;
+  let hb, _, _ = o.Controller.census_before in
+  let ha, _, _ = o.Controller.census_after in
+  check Alcotest.bool "balancing still effective" true
+    (ha < hb / 4);
+  match Invariants.all s.Scenario.dht with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let () =
+  Alcotest.run "faults_integration"
+    [
+      ( "resilience",
+        [
+          Alcotest.test_case "KT repair after host death" `Quick
+            test_kt_repair_after_host_death;
+          Alcotest.test_case "disabled faults: zero overhead" `Quick
+            test_disabled_faults_zero_overhead;
+          Alcotest.test_case "convergence under churn" `Quick
+            test_convergence_under_churn;
+          Alcotest.test_case "churn replay determinism" `Quick
+            test_churn_replay_determinism;
+          Alcotest.test_case "loss-only round" `Quick test_loss_only_round;
+        ] );
+    ]
