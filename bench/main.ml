@@ -71,7 +71,7 @@ let figures () =
   section "Baselines (CFS, Rao et al.)";
   print_string (E.render_baselines (E.baselines ~seed ~n_nodes ()));
   section "Churn / self-repair";
-  print_string (E.render_churn (E.churn ~seed ~n_nodes:(min n_nodes 1024) ()));
+  print_string (E.render_churn (E.churn ~seed ~n_nodes:(Int.min n_nodes 1024) ()));
   section "Replicated-store durability under churn";
   print_string (E.render_durability (E.durability ~seed ()));
   section "Periodic balancing under load drift";
@@ -89,7 +89,7 @@ let figures () =
               string_of_int h;
               Printf.sprintf "%.1f%%" (100.0 *. m);
             ])
-          (E.ablation_epsilon ~seed ~n_nodes:(min n_nodes 2048) ())));
+          (E.ablation_epsilon ~seed ~n_nodes:(Int.min n_nodes 2048) ())));
   print_newline ();
   print_string
     (E.render_sweep ~title:"rendezvous threshold sweep"
@@ -97,7 +97,7 @@ let figures () =
        (List.map
           (fun (t, a, b) ->
             [ string_of_int t; Printf.sprintf "%.3f" a; Printf.sprintf "%.3f" b ])
-          (E.ablation_threshold ~seed ~n_nodes:(min n_nodes 2048) ())));
+          (E.ablation_threshold ~seed ~n_nodes:(Int.min n_nodes 2048) ())));
   print_newline ();
   print_string
     (E.render_sweep ~title:"space-filling curve sweep"
@@ -105,7 +105,7 @@ let figures () =
        (List.map
           (fun (c, a, b) ->
             [ c; Printf.sprintf "%.3f" a; Printf.sprintf "%.3f" b ])
-          (E.ablation_curve ~seed ~n_nodes:(min n_nodes 2048) ())));
+          (E.ablation_curve ~seed ~n_nodes:(Int.min n_nodes 2048) ())));
   print_newline ();
   print_string
     (E.render_sweep ~title:"K-nary degree sweep"
@@ -113,7 +113,7 @@ let figures () =
        (List.map
           (fun (k, d, n, m) ->
             [ string_of_int k; string_of_int d; string_of_int n; string_of_int m ])
-          (E.ablation_k ~seed ~n_nodes:(min n_nodes 2048) ())));
+          (E.ablation_k ~seed ~n_nodes:(Int.min n_nodes 2048) ())));
   print_newline ();
   print_string
     (E.render_sweep ~title:"landmark count sweep"
@@ -126,7 +126,7 @@ let figures () =
               Printf.sprintf "%.3f" a;
               Printf.sprintf "%.3f" b;
             ])
-          (E.ablation_landmarks ~seed ~n_nodes:(min n_nodes 2048) ())))
+          (E.ablation_landmarks ~seed ~n_nodes:(Int.min n_nodes 2048) ())))
 
 (* ---- bechamel micro-benchmarks ----------------------------------------- *)
 
@@ -270,7 +270,7 @@ let run_bechamel () =
       in
       rows := (name, est) :: !rows)
     results;
-  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) !rows in
+  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) !rows in
   List.iter
     (fun (name, ns) ->
       if Float.is_nan ns then Printf.printf "%-36s (no estimate)\n" name
@@ -281,8 +281,8 @@ let run_bechamel () =
     sorted
 
 let () =
-  let skip_figures = Array.exists (( = ) "--bench-only") Sys.argv in
-  let skip_bench = Array.exists (( = ) "--figures-only") Sys.argv in
+  let skip_figures = Array.exists (String.equal "--bench-only") Sys.argv in
+  let skip_bench = Array.exists (String.equal "--figures-only") Sys.argv in
   Printf.printf
     "p2plb bench harness — nodes=%d graphs=%d seed=%d (override with \
      P2PLB_NODES / P2PLB_GRAPHS / P2PLB_SEED)\n"

@@ -199,17 +199,17 @@ let run_all seed graphs n_nodes =
   print_newline ();
   run_baselines seed n_nodes;
   print_newline ();
-  run_churn seed (min n_nodes 1024);
+  run_churn seed (Int.min n_nodes 1024);
   print_newline ();
-  run_resilience seed (min n_nodes 1024);
+  run_resilience seed (Int.min n_nodes 1024);
   print_newline ();
   run_overhead seed;
   print_newline ();
-  run_durability seed (min n_nodes 512);
+  run_durability seed (Int.min n_nodes 512);
   print_newline ();
-  run_drift seed (min n_nodes 1024);
+  run_drift seed (Int.min n_nodes 1024);
   print_newline ();
-  run_ablations seed (min n_nodes 2048)
+  run_ablations seed (Int.min n_nodes 2048)
 
 let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
 

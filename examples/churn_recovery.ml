@@ -30,7 +30,7 @@ let () =
   (* Churn: every 5 time units, ~2% of nodes crash and as many join. *)
   ignore
     (Engine.schedule_periodic engine ~interval:5.0 (fun _ ->
-         let batch = max 1 (Dht.n_nodes dht / 50) in
+         let batch = Int.max 1 (Dht.n_nodes dht / 50) in
          Scenario.crash_nodes s batch;
          Scenario.join_nodes s batch;
          crashes := !crashes + batch;

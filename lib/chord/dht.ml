@@ -48,6 +48,7 @@ let is_alive t id =
   match Hashtbl.find_opt t.nodes id with Some n -> n.alive | None -> false
 
 let n_nodes t =
+  (* p2plint: allow-unordered — commutative integer count, order-free *)
   Hashtbl.fold (fun _ n acc -> if n.alive then acc + 1 else acc) t.nodes 0
 
 let n_vs t = Ring_map.cardinal t.ring
@@ -91,7 +92,7 @@ let set_vs_load _t v load =
 let add_vs_load _t v delta =
   let nl = v.load +. delta in
   if nl < -1e-9 then invalid_arg "Dht.add_vs_load: load underflow";
-  v.load <- max 0.0 nl
+  v.load <- Float.max 0.0 nl
 
 let node_load n = List.fold_left (fun acc v -> acc +. v.load) 0.0 n.vss
 

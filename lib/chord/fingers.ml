@@ -30,6 +30,7 @@ let create dht =
 let vs_count t = Hashtbl.length t.tables
 
 let staleness t dht =
+  (* p2plint: allow-unordered — commutative integer sum of stale entries *)
   Hashtbl.fold
     (fun vs table acc ->
       let acc = if table.succ <> true_successor dht vs then acc + 1 else acc in
@@ -50,7 +51,7 @@ let stabilize_round ?(fingers_per_round = 4) t dht =
       (fun vs _ acc -> if Dht.vs_of_id dht vs = None then vs :: acc else acc)
       t.tables []
   in
-  List.iter (Hashtbl.remove t.tables) dead;
+  List.iter (Hashtbl.remove t.tables) (List.sort Id.compare dead);
   (* Every live VS stabilises. *)
   Dht.fold_vs dht ~init:() ~f:(fun () v ->
       let vs = v.Dht.vs_id in
@@ -131,7 +132,9 @@ let correct_lookup_fraction t dht ~rng ~samples =
   match sources with
   | [] -> 0.0
   | _ :: _ ->
-    let sources = Array.of_list sources in
+    (* Sorted so the sampled lookup sources replay identically no
+       matter how the hash table laid the VSs out. *)
+    let sources = Array.of_list (List.sort Id.compare sources) in
     let correct = ref 0 in
     for _ = 1 to samples do
       let from = Prng.choose rng sources in

@@ -83,7 +83,7 @@ let cfs_shed ?(epsilon_rel = 0.05) ?(max_rounds = 50) ~rng ~oracle dht =
             if load <= target then continue_shedding := false
             else begin
               match
-                List.sort (fun a b -> compare a.Dht.load b.Dht.load) n.Dht.vss
+                List.sort (fun a b -> Float.compare a.Dht.load b.Dht.load) n.Dht.vss
               with
               | [] | [ _ ] -> continue_shedding := false
               | v :: _ ->

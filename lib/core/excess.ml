@@ -13,7 +13,7 @@ let check_loads loads =
    be covered. *)
 let top_loads loads allowed =
   let sorted = Array.copy loads in
-  Array.sort (fun (_, a) (_, b) -> compare b a) sorted;
+  Array.sort (fun (_, a) (_, b) -> Float.compare b a) sorted;
   Array.to_list (Array.sub sorted 0 allowed)
 
 let exact loads ~need ~allowed =
@@ -53,7 +53,7 @@ let exact loads ~need ~allowed =
    member whose removal keeps the cover. *)
 let ascending_cover loads ~need ~allowed =
   let sorted = Array.copy loads in
-  Array.sort (fun (_, a) (_, b) -> compare a b) sorted;
+  Array.sort (fun (_, a) (_, b) -> Float.compare a b) sorted;
   let chosen = ref [] and sum = ref 0.0 and count = ref 0 in
   (* take from the largest end only as needed: ascending accumulation
      of the *largest* remaining would overshoot; take smallest-first. *)
@@ -67,7 +67,7 @@ let ascending_cover loads ~need ~allowed =
   if !sum < need then None
   else begin
     (* Trim: drop members (largest first) that are not needed. *)
-    let members = List.sort (fun (_, a) (_, b) -> compare b a) !chosen in
+    let members = List.sort (fun (_, a) (_, b) -> Float.compare b a) !chosen in
     let kept =
       List.filter
         (fun (_, l) ->
@@ -99,7 +99,7 @@ let keep_side loads ~need ~allowed =
   let total = Array.fold_left (fun acc (_, l) -> acc +. l) 0.0 loads in
   let budget = total -. need in
   let sorted = Array.copy loads in
-  Array.sort (fun (_, a) (_, b) -> compare b a) sorted;
+  Array.sort (fun (_, a) (_, b) -> Float.compare b a) sorted;
   let kept_sum = ref 0.0 in
   let shed = ref [] in
   Array.iter

@@ -1,7 +1,6 @@
 module Prng = P2plb_prng.Prng
 module Dht = P2plb_chord.Dht
 module Ktree = P2plb_ktree.Ktree
-module Graph = P2plb_topology.Graph
 module Transit_stub = P2plb_topology.Transit_stub
 module Hilbert = P2plb_hilbert.Hilbert
 module Histogram = P2plb_metrics.Histogram
@@ -56,7 +55,7 @@ let percentiles_row label xs =
     Report.float_cell (Stats.percentile xs 50.0);
     Report.float_cell (Stats.percentile xs 90.0);
     Report.float_cell (Stats.percentile xs 99.0);
-    Report.float_cell (Array.fold_left max xs.(0) xs);
+    Report.float_cell (Array.fold_left Float.max xs.(0) xs);
   ]
 
 let render_fig4 r =
@@ -169,13 +168,19 @@ let locality_ceiling (s : Scenario.t) =
       let load = Dht.node_load n in
       if load > target then bump supply g (load -. target)
       else if target -. load >= lbi.l_min then bump demand g (target -. load));
-  let total = Hashtbl.fold (fun _ v a -> a +. v) supply 0.0 in
+  let supply_bindings =
+    (* Materialised and sorted by stub domain: the float sums below
+       must not depend on hash-table layout. *)
+    let bs = Hashtbl.fold (fun g v acc -> (g, v) :: acc) supply [] in
+    List.sort (fun (a, _) (b, _) -> Option.compare Int.compare a b) bs
+  in
+  let total = List.fold_left (fun a (_, v) -> a +. v) 0.0 supply_bindings in
   if total <= 0.0 then 0.0
   else
-    Hashtbl.fold
-      (fun g sv a ->
+    List.fold_left
+      (fun a (g, sv) ->
         a +. Float.min sv (Option.value ~default:0.0 (Hashtbl.find_opt demand g)))
-      supply 0.0
+      0.0 supply_bindings
     /. total
 
 let proximity_run ~seed ~graphs ~n_nodes ~topology =
@@ -230,7 +235,7 @@ let render_proximity ~title r =
         intra-stub-domain locality ceiling=%.1f%%)\n\n"
        title r.graphs r.aware_mean r.ignorant_mean
        (100.0 *. r.locality_ceiling));
-  let max_bin = max (Histogram.max_bin r.aware) (Histogram.max_bin r.ignorant) in
+  let max_bin = Int.max (Histogram.max_bin r.aware) (Histogram.max_bin r.ignorant) in
   let rows =
     List.filter_map
       (fun b ->
@@ -479,7 +484,7 @@ let resilience ?(seed = 1) ?(n_nodes = 1024) ?(max_rounds = 3) () =
         z_final_live = r.Multiround.final_live;
         z_heavy_fraction =
           float_of_int r.Multiround.final_heavy
-          /. float_of_int (max 1 r.Multiround.final_live);
+          /. float_of_int (Int.max 1 r.Multiround.final_live);
         z_moved_factor = r.Multiround.total_moved /. total;
         z_repairs = r.Multiround.total_repairs;
         z_repair_messages = r.Multiround.total_repair_messages;

@@ -38,7 +38,7 @@ let crash_by_rank dht ~rank =
   let alive = Dht.alive_nodes dht in
   let n = List.length alive in
   if n > 1 then begin
-    let idx = min (n - 1) (int_of_float (rank *. float_of_int n)) in
+    let idx = Int.min (n - 1) (int_of_float (rank *. float_of_int n)) in
     let victim = List.nth alive idx in
     if List.length victim.Dht.vss < Dht.n_vs dht then
       Dht.crash dht victim.Dht.node_id

@@ -4,7 +4,7 @@ module Light_set = Set.Make (struct
   type t = float * int * Types.node_id (* deficit, seq, node *)
 
   let compare (d1, s1, n1) (d2, s2, n2) =
-    match compare d1 d2 with
+    match Float.compare d1 d2 with
     | 0 -> ( match Int.compare s1 s2 with 0 -> Int.compare n1 n2 | c -> c)
     | c -> c
 end)
@@ -14,7 +14,7 @@ module Shed_set = Set.Make (struct
   type t = float * int * Types.shed_vs (* load, seq, record *)
 
   let compare (l1, s1, _) (l2, s2, _) =
-    match compare l2 l1 with 0 -> Int.compare s1 s2 | c -> c
+    match Float.compare l2 l1 with 0 -> Int.compare s1 s2 | c -> c
 end)
 
 type pool = { shed : Shed_set.t; lights : Light_set.t; next_seq : int }
@@ -73,16 +73,22 @@ let pair ?(depth = 0) ~l_min p =
          of the shedding node itself (moving a VS to its own host would
          be a no-op transfer). *)
       let found = ref None in
-      let probe = ref (load, min_int) in
+      let probe_d = ref load and probe_sq = ref min_int in
       let continue = ref true in
       while !continue do
         match
           Light_set.find_first_opt
-            (fun (d, sq, _) -> (d, sq) >= !probe)
+            (fun (d, sq, _) ->
+              match Float.compare d !probe_d with
+              | 0 -> sq >= !probe_sq
+              | c -> c > 0)
             !lights
         with
         | Some (d, sq, n) ->
-          if n = s.Types.heavy_node then probe := (d, sq + 1)
+          if n = s.Types.heavy_node then begin
+            probe_d := d;
+            probe_sq := sq + 1
+          end
           else begin
             found := Some (d, sq, n);
             continue := false

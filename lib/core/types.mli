@@ -1,0 +1,40 @@
+(** Shared record types of the load-balancing scheme. *)
+
+module Id = P2plb_idspace.Id
+
+type node_id = int
+
+(** Load-balancing information, [<L, C, L_min>] (paper §3.2): total
+    load, total capacity, and the minimum virtual-server load of the
+    subtree (or node) it describes. *)
+type lbi = { l : float; c : float; l_min : float }
+
+val lbi_combine : lbi -> lbi -> lbi
+val pp_lbi : Format.formatter -> lbi -> unit
+
+(** A virtual server a heavy node offers to shed:
+    [<L_{i,k}, v_{i,k}, ip_addr(i)>] (§3.4). *)
+type shed_vs = { vs_load : float; vs_id : Id.t; heavy_node : node_id }
+
+(** A light node's spare capacity: [<ΔL_j, ip_addr(j)>] (§3.4). *)
+type light_slot = { deficit : float; light_node : node_id }
+
+(** VSA information as published into the DHT by the proximity-aware
+    scheme (§4.3). *)
+type vsa_record = Shed of shed_vs | Light of light_slot
+
+(** A paired assignment produced by a rendezvous KT node, sent to both
+    endpoints for virtual-server transferring.  [a_depth] records the
+    KT depth of the rendezvous that made the pair (root = 0, leaves
+    deepest) — the deeper, the more identifier-space-local the match. *)
+type assignment = {
+  a_vs_id : Id.t;
+  a_load : float;
+  a_from : node_id;
+  a_to : node_id;
+  a_depth : int;
+}
+
+type node_class = Heavy | Light | Neutral
+
+val pp_node_class : Format.formatter -> node_class -> unit

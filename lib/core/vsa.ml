@@ -1,6 +1,5 @@
 module Prng = P2plb_prng.Prng
 module Id = P2plb_idspace.Id
-module Region = P2plb_idspace.Region
 module Dht = P2plb_chord.Dht
 module Ktree = P2plb_ktree.Ktree
 module Landmark = P2plb_landmark.Landmark

@@ -63,7 +63,7 @@ let linear_pieces r =
 
 let overlap_len a b =
   let pieces_a = linear_pieces a and pieces_b = linear_pieces b in
-  let inter (s1, e1) (s2, e2) = max 0 (min e1 e2 - max s1 s2) in
+  let inter (s1, e1) (s2, e2) = Int.max 0 (Int.min e1 e2 - Int.max s1 s2) in
   List.fold_left
     (fun acc pa ->
       List.fold_left (fun acc pb -> acc + inter pa pb) acc pieces_b)

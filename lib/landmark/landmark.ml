@@ -30,7 +30,7 @@ let select_spread rng g ~m =
     let best = ref 0 and best_d = ref (-1) in
     Array.iteri
       (fun v d ->
-        if d <> max_int && d > !best_d && not (Array.exists (( = ) v) (Array.sub chosen 0 i))
+        if d <> max_int && d > !best_d && not (Array.exists (Int.equal v) (Array.sub chosen 0 i))
         then begin
           best := v;
           best_d := d
@@ -55,7 +55,7 @@ let make_space g ~landmarks =
     Array.map
       (fun row ->
         let s = Array.copy row in
-        Array.sort compare s;
+        Array.sort Int.compare s;
         s)
       dists
   in
@@ -79,7 +79,7 @@ let quantile_cell sorted_row cells d =
       if sorted_row.(mid) < d then lower (mid + 1) hi else lower lo mid
   in
   let rank = lower 0 n in
-  min (cells - 1) (rank * cells / n)
+  Int.min (cells - 1) (rank * cells / n)
 
 let grid_coords ?(binning = Equal_width) ?(failed = []) s ~order v =
   if order < 1 then invalid_arg "Landmark.grid_coords: order < 1";
@@ -89,7 +89,7 @@ let grid_coords ?(binning = Equal_width) ?(failed = []) s ~order v =
     | Equal_width ->
       let scale d =
         let d = if d = max_int then s.d_max else d in
-        min (cells - 1) (d * cells / (s.d_max + 1))
+        Int.min (cells - 1) (d * cells / (s.d_max + 1))
       in
       Array.map (fun row -> scale row.(v)) s.dists
     | Quantile ->

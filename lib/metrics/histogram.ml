@@ -8,7 +8,7 @@ let create () = { w = Array.make 16 0.0; hi = -1; sum = 0.0 }
 
 let ensure t bin =
   if bin >= Array.length t.w then begin
-    let bigger = Array.make (max (2 * Array.length t.w) (bin + 1)) 0.0 in
+    let bigger = Array.make (Int.max (2 * Array.length t.w) (bin + 1)) 0.0 in
     Array.blit t.w 0 bigger 0 (Array.length t.w);
     t.w <- bigger
   end
@@ -33,7 +33,7 @@ let cumulative_fraction t b =
   if t.sum <= 0.0 then 0.0
   else begin
     let acc = ref 0.0 in
-    for i = 0 to min b t.hi do
+    for i = 0 to Int.min b t.hi do
       acc := !acc +. t.w.(i)
     done;
     !acc /. t.sum

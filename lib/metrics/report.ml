@@ -11,7 +11,7 @@ let table ?title ~header rows =
   let ncols = List.length header in
   let widths = Array.make ncols 0 in
   List.iter
-    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    (List.iteri (fun i cell -> widths.(i) <- Int.max widths.(i) (String.length cell)))
     all;
   let buf = Buffer.create 1024 in
   (match title with
@@ -46,8 +46,8 @@ let ascii_plot ?(width = 72) ?(height = 20) ?title ?(x_label = "x")
   | [] -> "(empty plot)\n"
   | (x0, y0) :: _ ->
     let fold f init sel = List.fold_left (fun a p -> f a (sel p)) init points in
-    let xmin = fold min x0 fst and xmax = fold max x0 fst in
-    let ymin = fold min y0 snd and ymax = fold max y0 snd in
+    let xmin = fold Float.min x0 fst and xmax = fold Float.max x0 fst in
+    let ymin = fold Float.min y0 snd and ymax = fold Float.max y0 snd in
     let xspan = if xmax > xmin then xmax -. xmin else 1.0 in
     let yspan = if ymax > ymin then ymax -. ymin else 1.0 in
     let grid = Array.make_matrix height width ' ' in

@@ -20,8 +20,8 @@ let stddev xs =
 
 let summarize xs =
   if Array.length xs = 0 then invalid_arg "Stats.summarize: empty";
-  let lo = Array.fold_left min xs.(0) xs in
-  let hi = Array.fold_left max xs.(0) xs in
+  let lo = Array.fold_left Float.min xs.(0) xs in
+  let hi = Array.fold_left Float.max xs.(0) xs in
   {
     n = Array.length xs;
     mean = mean xs;
@@ -35,7 +35,7 @@ let percentile xs p =
   if Array.length xs = 0 then invalid_arg "Stats.percentile: empty";
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   let rank = p /. 100.0 *. float_of_int (n - 1) in
   let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
@@ -53,7 +53,7 @@ let gini xs =
   let s = total xs in
   if not (s > 0.0) then invalid_arg "Stats.gini: zero total";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   (* G = (2 * sum_i i*x_(i) ) / (n * sum x) - (n + 1) / n, i from 1. *)
   let weighted = ref 0.0 in
   for i = 0 to n - 1 do
@@ -65,7 +65,7 @@ let gini xs =
 let max_over_mean xs =
   let m = mean xs in
   if not (m > 0.0) then invalid_arg "Stats.max_over_mean: mean <= 0";
-  Array.fold_left max xs.(0) xs /. m
+  Array.fold_left Float.max xs.(0) xs /. m
 
 let jain_index xs =
   let n = Array.length xs in
@@ -85,7 +85,7 @@ let lorenz xs =
   let s = total xs in
   if not (s > 0.0) then invalid_arg "Stats.lorenz: zero total";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let acc = ref 0.0 in
   (0.0, 0.0)
   :: List.init n (fun i ->

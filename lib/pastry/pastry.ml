@@ -30,7 +30,7 @@ let nodes t = S.elements t.members
 (* Numeric ring distance: the shorter way around. *)
 let ring_dist a b =
   let d = Id.distance_cw a b in
-  min d (Id.space_size - d)
+  Int.min d (Id.space_size - d)
 
 let successor t k =
   match S.find_first_opt (fun x -> x >= k) t.members with
@@ -63,7 +63,7 @@ let shared_prefix_digits a b =
 let leaf_set t node =
   if not (S.mem node t.members) then invalid_arg "Pastry.leaf_set: not a member";
   let n = S.cardinal t.members - 1 in
-  let want_side = min leaf_set_half ((n + 1) / 2) in
+  let want_side = Int.min leaf_set_half ((n + 1) / 2) in
   let collect step =
     let rec go cur acc remaining =
       if remaining = 0 then acc
@@ -75,7 +75,7 @@ let leaf_set t node =
   in
   let right = collect (fun cur -> successor t (Id.add cur 1)) in
   let left = collect (fun cur -> predecessor t (Id.sub cur 1)) in
-  List.sort_uniq compare (List.rev_append right left)
+  List.sort_uniq Int.compare (List.rev_append right left)
 
 let routing_entry t node ~row ~digit:d =
   if row < 0 || row >= n_digits then invalid_arg "Pastry.routing_entry: bad row";

@@ -84,7 +84,7 @@ let dirichlet_fractions t k =
   if k <= 0 then invalid_arg "Dist.dirichlet_fractions: k <= 0";
   (* Spacings of k-1 uniforms on [0,1] = flat Dirichlet(1,...,1). *)
   let cuts = Array.init (k - 1) (fun _ -> Prng.unit_float t) in
-  Array.sort compare cuts;
+  Array.sort Float.compare cuts;
   let frac = Array.make k 0.0 in
   let prev = ref 0.0 in
   for i = 0 to k - 2 do

@@ -110,7 +110,7 @@ let step t =
   else begin
     let ev = pop t in
     if not ev.h.cancelled then begin
-      t.clock <- max t.clock ev.time;
+      t.clock <- Float.max t.clock ev.time;
       ev.action t
     end;
     true
@@ -123,7 +123,7 @@ let run_until t ~time =
     else if t.heap.(0).time > time then continue := false
     else ignore (step t)
   done;
-  t.clock <- max t.clock time
+  t.clock <- Float.max t.clock time
 
 let run ?(max_events = max_int) t =
   let processed = ref 0 in

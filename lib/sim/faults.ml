@@ -120,7 +120,7 @@ let arm t engine ~horizon ~population ~crash =
   done
 
 let failed_landmarks t ~m =
-  let k = min t.config.landmark_failures m in
+  let k = Int.min t.config.landmark_failures m in
   if k = 0 then []
   else begin
     let rng = Prng.create ~seed:t.landmark_seed in

@@ -1,0 +1,9 @@
+(* A fully clean module: nothing here should be flagged. *)
+
+let classify x = if x > 0.5 then `Heavy else `Light
+
+let total xs = List.fold_left ( +. ) 0.0 xs
+
+let safe_head xs = match xs with [] -> None | x :: _ -> Some x
+
+let lookup tbl k = try Some (Hashtbl.find tbl k) with Not_found -> None

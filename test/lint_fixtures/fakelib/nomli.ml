@@ -1,0 +1,1 @@
+let triple x = 3 * x

@@ -1,0 +1,1 @@
+let double x = 2 * x

@@ -1,0 +1,8 @@
+(* R1 fixtures: every definition below must be flagged. *)
+
+let generic_compare a b = compare a b
+let generic_min x y = min x y
+let stdlib_max x y = Stdlib.max x y
+let tuple_less p q = (1, p) < (2, q)
+let eq_as_value = ( = )
+let sorted xs = List.sort compare xs

@@ -1,0 +1,9 @@
+(* R1 clean pass: typed comparators, local opens, plain infix on
+   non-structural operands. *)
+
+let int_compare a b = Int.compare a b
+let float_min (x : float) (y : float) = Float.min x y
+let boxed_compare a b = Int64.(compare a b)
+let plain_less x y = x < y
+let is_default x = x = None
+let sorted xs = List.sort Int.compare xs

@@ -1,0 +1,5 @@
+(* R2 positive hit: the fold's list escapes with no sort in sight. *)
+
+let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+
+let print_all tbl = Hashtbl.iter (fun _ v -> print_endline v) tbl

@@ -1,0 +1,11 @@
+(* R2 clean pass: the unordered traversal is redeemed by a
+   deterministic sort in the same top-level binding. *)
+
+let keys tbl =
+  let ks = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] in
+  List.sort Int.compare ks
+
+let bindings tbl =
+  List.sort
+    (fun (a, _) (b, _) -> Int.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])

@@ -1,0 +1,8 @@
+(* R2 suppression path: annotated with a reason, so it passes. *)
+
+let count tbl =
+  (* p2plint: allow-unordered — commutative integer count, order-free *)
+  Hashtbl.fold (fun _ _ acc -> acc + 1) tbl 0
+
+let also_same_line tbl =
+  Hashtbl.fold (fun _ _ acc -> acc + 1) tbl 0 (* p2plint: allow-unordered — count *)

@@ -1,0 +1,6 @@
+(* R3 positive hits: ambient nondeterminism outside lib/prng//lib/sim. *)
+
+let now () = Sys.time ()
+let roll n = Random.int n
+let bucket x = Hashtbl.hash x mod 16
+let stamp () = Unix.gettimeofday ()

@@ -1,0 +1,5 @@
+(* R4 positive hits: catch-all handlers swallowing failures. *)
+
+let swallow f = try f () with _ -> 0
+
+let swallow_or b f = try f () with Not_found -> 1 | _ -> b

@@ -1,0 +1,57 @@
+(* Double-run determinism regression: the flagship proximity
+   experiment (Fig. 7), run twice with the same seed, must produce
+   byte-identical reports and CSVs.  This guards at runtime what
+   p2plint rules R1–R3 enforce syntactically: no polymorphic compare
+   on float tuples, no hash-table iteration order leaking into
+   results, no ambient randomness or wall-clock reads. *)
+
+module E = P2plb.Experiments
+module Csv = P2plb_metrics.Csv
+
+let check = Alcotest.check
+
+let fig7_artifacts seed =
+  let r = E.fig7 ~seed ~graphs:1 ~n_nodes:128 () in
+  let report = E.render_proximity ~title:"determinism check" r in
+  let csv = Csv.of_histogram r.E.aware ^ Csv.of_histogram r.E.ignorant in
+  (report, csv)
+
+let test_fig7_twice () =
+  let report1, csv1 = fig7_artifacts 42 in
+  let report2, csv2 = fig7_artifacts 42 in
+  check Alcotest.string "report digests equal"
+    (Digest.to_hex (Digest.string report1))
+    (Digest.to_hex (Digest.string report2));
+  check Alcotest.string "csv digests equal"
+    (Digest.to_hex (Digest.string csv1))
+    (Digest.to_hex (Digest.string csv2))
+
+let test_fig7_seed_sensitivity () =
+  (* The digest comparison is only meaningful if the artifacts react
+     to the seed at all. *)
+  let report42, _ = fig7_artifacts 42 in
+  let report43, _ = fig7_artifacts 43 in
+  check Alcotest.bool "different seeds differ" true
+    (not (String.equal report42 report43))
+
+let test_balance_round_twice () =
+  let run () =
+    let r = E.fig4 ~seed:7 ~n_nodes:128 () in
+    E.render_fig4 r
+  in
+  check Alcotest.string "fig4 digests equal"
+    (Digest.to_hex (Digest.string (run ())))
+    (Digest.to_hex (Digest.string (run ())))
+
+let () =
+  Alcotest.run "determinism"
+    [
+      ( "double-run",
+        [
+          Alcotest.test_case "fig7 byte-identical" `Quick test_fig7_twice;
+          Alcotest.test_case "fig7 seed-sensitive" `Quick
+            test_fig7_seed_sensitivity;
+          Alcotest.test_case "fig4 byte-identical" `Quick
+            test_balance_round_twice;
+        ] );
+    ]

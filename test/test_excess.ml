@@ -50,7 +50,7 @@ let test_shed_ids_are_distinct () =
   in
   let ids = List.map fst shed in
   check Alcotest.int "distinct ids" (List.length ids)
-    (List.length (List.sort_uniq compare ids))
+    (List.length (List.sort_uniq Int.compare ids))
 
 (* Brute-force optimum for cross-checking (n <= 10). *)
 let brute_force loads need allowed =
@@ -100,7 +100,7 @@ let prop_respects_keep_at_least =
     (fun (l, need, keep) ->
       let loads = loads_of_list l in
       let shed = Excess.choose_shed ~keep_at_least:keep ~loads need in
-      List.length shed <= max 0 (Array.length loads - keep))
+      List.length shed <= Int.max 0 (Array.length loads - keep))
 
 let prop_greedy_covers =
   (* exercise the greedy path with > exact_threshold VSs *)

@@ -1,4 +1,3 @@
-module Prng = P2plb_prng.Prng
 module Dht = P2plb_chord.Dht
 module Ktree = P2plb_ktree.Ktree
 module Engine = P2plb_sim.Engine

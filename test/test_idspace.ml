@@ -201,7 +201,7 @@ let prop_overlap_bounded =
     QCheck.(pair region_gen region_gen)
     (fun (a, b) ->
       let o = Region.overlap_len a b in
-      o >= 0 && o <= min (Region.len a) (Region.len b))
+      o >= 0 && o <= Int.min (Region.len a) (Region.len b))
 
 let () =
   Alcotest.run "idspace"

@@ -165,7 +165,7 @@ let prop_tree_consistent_for_any_ring =
     (fun (seed, nodes, vs) ->
       let dht = build_dht ~seed ~nodes ~vs in
       let tree = Ktree.build ~k:2 dht in
-      Ktree.check_consistent tree dht = Ok ())
+      Result.is_ok (Ktree.check_consistent tree dht))
 
 let prop_k8_consistent =
   QCheck.Test.make ~name:"k=8 tree consistent on random rings" ~count:15
@@ -173,7 +173,7 @@ let prop_k8_consistent =
     (fun (seed, nodes) ->
       let dht = build_dht ~seed ~nodes ~vs:3 in
       let tree = Ktree.build ~k:8 dht in
-      Ktree.check_consistent tree dht = Ok ())
+      Result.is_ok (Ktree.check_consistent tree dht))
 
 let () =
   Alcotest.run "ktree"

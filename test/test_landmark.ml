@@ -35,7 +35,7 @@ let test_select_spread_spreads () =
   Array.iteri
     (fun i a ->
       Array.iteri
-        (fun j b -> if i < j then min_gap := min !min_gap (abs (a - b)))
+        (fun j b -> if i < j then min_gap := Int.min !min_gap (abs (a - b)))
         lms)
     lms;
   check Alcotest.bool "pairwise separated" true (!min_gap >= 20)
@@ -114,7 +114,7 @@ let test_proximity_on_transit_stub () =
   let key v = Landmark.dht_key sp ~order:4 v in
   let ring_dist a b =
     let d = Id.distance_cw a b in
-    min d (Id.space_size - d)
+    Int.min d (Id.space_size - d)
   in
   let stubs = t.TS.stub_vertices in
   let same = ref [] and diff = ref [] in

@@ -1,0 +1,134 @@
+(* p2plint self-test: drive every rule through the fixture snippets
+   under lint_fixtures/ — positive hit, clean pass, and the
+   suppression-comment path. *)
+
+module Lint = P2plint.Lint
+
+let check = Alcotest.check
+
+let lint name = Lint.lint_file (Filename.concat "lint_fixtures" name)
+
+let all_rule r vs =
+  List.for_all (fun v -> String.equal v.Lint.v_rule r) vs
+
+(* ---- R1 ---------------------------------------------------------------- *)
+
+let test_r1_hits () =
+  let vs = lint "r1_bad.ml" in
+  check Alcotest.int "six R1 violations" 6 (List.length vs);
+  check Alcotest.bool "all are R1" true (all_rule "R1" vs)
+
+let test_r1_clean () =
+  check Alcotest.int "typed comparators pass" 0 (List.length (lint "r1_ok.ml"))
+
+(* ---- R2 ---------------------------------------------------------------- *)
+
+let test_r2_hits () =
+  let vs = lint "r2_bad.ml" in
+  check Alcotest.int "fold and iter both flagged" 2 (List.length vs);
+  check Alcotest.bool "all are R2" true (all_rule "R2" vs)
+
+let test_r2_sorted_clean () =
+  check Alcotest.int "sort in same binding redeems" 0
+    (List.length (lint "r2_sorted.ml"))
+
+let test_r2_suppressed () =
+  check Alcotest.int "reasoned suppressions pass" 0
+    (List.length (lint "r2_suppressed.ml"))
+
+let test_r2_suppression_needs_reason () =
+  let vs = lint "r2_suppressed_noreason.ml" in
+  check Alcotest.int "bare comment + unsuppressed fold" 2 (List.length vs);
+  check Alcotest.bool "all are R2" true (all_rule "R2" vs);
+  check Alcotest.bool "one names the missing reason" true
+    (List.exists
+       (fun v ->
+         let msg = v.Lint.v_msg in
+         String.length msg >= 11 && String.equal (String.sub msg 0 11)
+           "suppression")
+       vs)
+
+(* ---- R3 / R4 ----------------------------------------------------------- *)
+
+let test_r3_hits () =
+  let vs = lint "r3_bad.ml" in
+  check Alcotest.int "Sys.time/Random/Hashtbl.hash/gettimeofday" 4
+    (List.length vs);
+  check Alcotest.bool "all are R3" true (all_rule "R3" vs)
+
+let test_r4_hits () =
+  let vs = lint "r4_bad.ml" in
+  check Alcotest.int "both catch-alls flagged" 2 (List.length vs);
+  check Alcotest.bool "all are R4" true (all_rule "R4" vs)
+
+let test_clean_module () =
+  check Alcotest.int "clean module passes" 0 (List.length (lint "clean.ml"))
+
+(* ---- R5 ---------------------------------------------------------------- *)
+
+let test_r5_missing_mli () =
+  let vs = Lint.check_mli_dir (Filename.concat "lint_fixtures" "fakelib") in
+  check Alcotest.int "exactly the uncovered module" 1 (List.length vs);
+  match vs with
+  | [ v ] ->
+    check Alcotest.string "rule" "R5" v.Lint.v_rule;
+    check Alcotest.bool "points at nomli.ml" true
+      (Filename.basename v.Lint.v_file = "nomli.ml")
+  | _ -> Alcotest.fail "expected exactly one violation"
+
+(* ---- diagnostics format ------------------------------------------------ *)
+
+let diag_re = Str.regexp {|^[^:]+\.ml:[0-9]+: \[R[1-5]\] .+|}
+
+let test_diagnostic_format () =
+  let vs = lint "r1_bad.ml" @ lint "r3_bad.ml" @ lint "r4_bad.ml" in
+  List.iter
+    (fun v ->
+      let line = Lint.to_string v in
+      check Alcotest.bool
+        (Printf.sprintf "diagnostic shape: %s" line)
+        true
+        (Str.string_match diag_re line 0))
+    vs
+
+let test_run_is_sorted_and_nonempty () =
+  let vs = Lint.run [ "lint_fixtures" ] in
+  check Alcotest.bool "fixtures trip the linter" true (List.length vs > 0);
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+      Lint.compare_violation a b <= 0 && sorted rest
+    | _ -> true
+  in
+  check Alcotest.bool "report is sorted" true (sorted vs)
+
+let () =
+  Alcotest.run "p2plint"
+    [
+      ( "r1",
+        [
+          Alcotest.test_case "positive hits" `Quick test_r1_hits;
+          Alcotest.test_case "clean pass" `Quick test_r1_clean;
+        ] );
+      ( "r2",
+        [
+          Alcotest.test_case "positive hits" `Quick test_r2_hits;
+          Alcotest.test_case "sorted pass" `Quick test_r2_sorted_clean;
+          Alcotest.test_case "suppressed pass" `Quick test_r2_suppressed;
+          Alcotest.test_case "suppression needs reason" `Quick
+            test_r2_suppression_needs_reason;
+        ] );
+      ( "r3-r4",
+        [
+          Alcotest.test_case "r3 hits" `Quick test_r3_hits;
+          Alcotest.test_case "r4 hits" `Quick test_r4_hits;
+          Alcotest.test_case "clean module" `Quick test_clean_module;
+        ] );
+      ("r5", [ Alcotest.test_case "missing mli" `Quick test_r5_missing_mli ]);
+      ( "report",
+        [
+          Alcotest.test_case "file:line: [RULE] shape" `Quick
+            test_diagnostic_format;
+          Alcotest.test_case "run is sorted" `Quick
+            test_run_is_sorted_and_nonempty;
+        ] );
+    ]

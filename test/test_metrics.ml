@@ -161,7 +161,7 @@ let prop_percentile_monotone =
     QCheck.(pair (list_of_size (QCheck.Gen.int_range 1 30) (float_range (-100.) 100.)) (pair (float_range 0. 100.) (float_range 0. 100.)))
     (fun (l, (p1, p2)) ->
       let xs = Array.of_list l in
-      let lo = min p1 p2 and hi = max p1 p2 in
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
       Stats.percentile xs lo <= Stats.percentile xs hi +. 1e-9)
 
 let prop_gini_range =

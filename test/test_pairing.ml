@@ -172,7 +172,7 @@ let prop_no_duplicate_vs =
       let pool = Pairing.of_entries sheds lights in
       let assignments, _ = Pairing.pair ~l_min:0.05 pool in
       let ids = List.map (fun a -> a.Types.a_vs_id) assignments in
-      List.length ids = List.length (List.sort_uniq compare ids))
+      List.length ids = List.length (List.sort_uniq Int.compare ids))
 
 let prop_conservation =
   QCheck.Test.make ~name:"assigned + leftover = offered sheds" ~count:500

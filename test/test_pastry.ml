@@ -60,9 +60,9 @@ let test_leaf_set () =
     expected := sorted.(((!idx + k) mod n + n) mod n) :: !expected;
     expected := sorted.(((!idx - k) mod n + n) mod n) :: !expected
   done;
-  let expected = List.sort_uniq compare !expected in
+  let expected = List.sort_uniq Int.compare !expected in
   check Alcotest.(list int) "leaves are the per-side nearest" expected
-    (List.sort compare leaves)
+    (List.sort Int.compare leaves)
 
 let test_leaf_set_small_overlay () =
   let t = build ~seed:2 ~n:5 in

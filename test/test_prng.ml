@@ -82,7 +82,7 @@ let test_shuffle_is_permutation () =
   let a = Array.init 50 (fun i -> i) in
   Prng.shuffle t a;
   let sorted = Array.copy a in
-  Array.sort compare sorted;
+  Array.sort Int.compare sorted;
   check Alcotest.(array int) "permutation" (Array.init 50 (fun i -> i)) sorted
 
 let test_sample_distinct_small () =
@@ -90,7 +90,7 @@ let test_sample_distinct_small () =
   let s = Prng.sample_distinct t ~n:10 ~universe:1000 in
   check Alcotest.int "size" 10 (Array.length s);
   let sorted = Array.copy s in
-  Array.sort compare sorted;
+  Array.sort Int.compare sorted;
   for i = 1 to 9 do
     check Alcotest.bool "distinct" true (sorted.(i) <> sorted.(i - 1))
   done
@@ -111,7 +111,7 @@ let test_sample_distinct_full () =
   let t = Prng.create ~seed:11 in
   let s = Prng.sample_distinct t ~n:20 ~universe:20 in
   let sorted = Array.copy s in
-  Array.sort compare sorted;
+  Array.sort Int.compare sorted;
   check Alcotest.(array int) "whole universe" (Array.init 20 (fun i -> i)) sorted
 
 let test_choose_uniformish () =
@@ -217,7 +217,7 @@ let prop_shuffle_preserves_multiset =
       let t = Prng.create ~seed in
       let a = Array.of_list l in
       Prng.shuffle t a;
-      List.sort compare (Array.to_list a) = List.sort compare l)
+      List.sort Int.compare (Array.to_list a) = List.sort Int.compare l)
 
 let () =
   Alcotest.run "prng"

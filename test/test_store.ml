@@ -37,7 +37,7 @@ let test_placement_distinct_nodes () =
       (fun hs ->
         check Alcotest.int "r holders" 3 (List.length hs);
         check Alcotest.int "distinct nodes" 3
-          (List.length (List.sort_uniq compare hs));
+          (List.length (List.sort_uniq Int.compare hs));
         (* primary is the owner's node *)
         check Alcotest.int "primary = owner" (Dht.owner_of_key dht key).Dht.owner
           (List.hd hs))

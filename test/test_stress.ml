@@ -61,7 +61,7 @@ let prop_invariants_under_interleaving =
         actions;
       (* the tree may be stale mid-sequence; one refresh must repair *)
       Ktree.refresh !tree dht;
-      Invariants.all ~tree:!tree ~expected_total:total dht = Ok ())
+      Result.is_ok (Invariants.all ~tree:!tree ~expected_total:total dht))
 
 let prop_store_integrity_under_churn =
   QCheck.Test.make ~name:"store holders always alive after repair" ~count:15

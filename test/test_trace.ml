@@ -131,7 +131,7 @@ let test_balancing_keeps_up_with_trace () =
       true
       (r.P2plb.Multiround.final_heavy <= 15
       && r.P2plb.Multiround.final_heavy
-         <= max 1 (first.P2plb.Multiround.heavy_before / 2))
+         <= Int.max 1 (first.P2plb.Multiround.heavy_before / 2))
   done
 
 let () =

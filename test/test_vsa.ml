@@ -123,7 +123,7 @@ let test_low_threshold_pairs_deeper () =
   let mean_depth r =
     let ds = List.map (fun a -> a.Types.a_depth) r.Vsa.assignments in
     float_of_int (List.fold_left ( + ) 0 ds)
-    /. float_of_int (max 1 (List.length ds))
+    /. float_of_int (Int.max 1 (List.length ds))
   in
   check Alcotest.bool "low threshold pairs deeper in the tree" true
     (mean_depth low > mean_depth high)

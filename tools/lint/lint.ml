@@ -1,0 +1,431 @@
+(* p2plint — determinism & robustness linter.  Parses every [.ml] with
+   compiler-libs ([Parse.implementation]) and walks the Parsetree with
+   [Ast_iterator]; no opam dependencies beyond the compiler itself.
+
+   The checks are deliberately syntactic: we do not type-check, so a
+   locally shadowed [compare] or a genuinely order-independent
+   [Hashtbl.fold] may be flagged.  That is what the per-rule
+   suppression comments are for — each carries a reason, so every
+   exception to a determinism rule is documented at the use site. *)
+
+type violation = {
+  v_file : string;
+  v_line : int;
+  v_col : int;
+  v_rule : string;
+  v_msg : string;
+}
+
+let compare_violation a b =
+  match String.compare a.v_file b.v_file with
+  | 0 -> (
+    match Int.compare a.v_line b.v_line with
+    | 0 -> Int.compare a.v_col b.v_col
+    | c -> c)
+  | c -> c
+
+let to_string v = Printf.sprintf "%s:%d: [%s] %s" v.v_file v.v_line v.v_rule v.v_msg
+
+(* ---- suppression comments --------------------------------------------- *)
+
+(* [(* p2plint: allow-<rule> — <reason> *)] on the line of the
+   violation or the line just above it.  The reason is mandatory: a
+   suppression without one does not suppress and is itself reported. *)
+
+type suppression = { s_line : int; s_rule : string; s_reason : bool; s_kw : string }
+
+let rule_of_keyword = function
+  | "allow-polycompare" -> Some "R1"
+  | "allow-unordered" -> Some "R2"
+  | "allow-impure" -> Some "R3"
+  | "allow-catchall" -> Some "R4"
+  | _ -> None
+
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let is_alnum c =
+  match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> true | _ -> false
+
+let parse_suppression ~line text =
+  match find_sub text "p2plint:" with
+  | None -> None
+  | Some i ->
+    let n = String.length text in
+    let j = ref (i + String.length "p2plint:") in
+    while !j < n && (text.[!j] = ' ' || text.[!j] = '\t') do
+      incr j
+    done;
+    let k = ref !j in
+    while
+      !k < n && (is_alnum text.[!k] || text.[!k] = '-' || text.[!k] = '_')
+    do
+      incr k
+    done;
+    let kw = String.sub text !j (!k - !j) in
+    (match rule_of_keyword kw with
+    | None -> None
+    | Some rule ->
+      let rest = String.sub text !k (n - !k) in
+      let rest =
+        match find_sub rest "*)" with
+        | Some p -> String.sub rest 0 p
+        | None -> rest
+      in
+      (* Any alphanumeric content after the keyword (past the em-dash /
+         colon separator) counts as a reason. *)
+      let has_reason = String.exists is_alnum rest in
+      Some { s_line = line; s_rule = rule; s_reason = has_reason; s_kw = kw })
+
+let scan_suppressions source =
+  let out = ref [] in
+  let line = ref 0 in
+  String.split_on_char '\n' source
+  |> List.iter (fun text ->
+         incr line;
+         match parse_suppression ~line:!line text with
+         | Some s -> out := s :: !out
+         | None -> ());
+  List.rev !out
+
+(* ---- AST checks (R1–R4) ----------------------------------------------- *)
+
+open Parsetree
+
+let rec flatten_lid lid =
+  match lid with
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (l, s) -> flatten_lid l @ [ s ]
+  | Longident.Lapply (_, l) -> flatten_lid l
+
+let poly_fns = [ "compare"; "min"; "max" ]
+let cmp_ops = [ "="; "<>"; "<"; ">"; "<="; ">=" ]
+
+let sort_fns =
+  [ "sort"; "sort_uniq"; "stable_sort"; "fast_sort" ]
+
+let hashtbl_unordered =
+  [ "iter"; "fold"; "to_seq"; "to_seq_keys"; "to_seq_values" ]
+
+(* A syntactically structural value: comparing one of these with a
+   polymorphic operator is certainly a deep structural comparison
+   (NaN-unsafe if a float hides inside, and never the typed fast
+   path).  Constant constructors ([None], [[]], [true]) are excluded:
+   equality against a constant constructor stops at the tag. *)
+let rec is_structural e =
+  match e.pexp_desc with
+  | Pexp_tuple _ | Pexp_record _ | Pexp_array _ -> true
+  | Pexp_construct (_, Some _) -> true
+  | Pexp_variant (_, Some _) -> true
+  | Pexp_constraint (inner, _) -> is_structural inner
+  | _ -> false
+
+type ctx = {
+  file : string;
+  r3_exempt : bool;  (* lib/prng/ and lib/sim/ own randomness & time *)
+  mutable viols : violation list;
+  mutable open_depth : int;  (* inside [M.(...)] / [let open M in ...] *)
+  mutable item_depth : int;  (* nesting of structure items *)
+  mutable item_sorts : bool;  (* a deterministic sort call was seen *)
+  mutable item_pending : violation list;  (* R2 candidates *)
+}
+
+let add ctx (loc : Location.t) rule msg =
+  let p = loc.loc_start in
+  ctx.viols <-
+    {
+      v_file = ctx.file;
+      v_line = p.pos_lnum;
+      v_col = p.pos_cnum - p.pos_bol;
+      v_rule = rule;
+      v_msg = msg;
+    }
+    :: ctx.viols
+
+let pending_r2 ctx (loc : Location.t) msg =
+  let p = loc.loc_start in
+  let v =
+    {
+      v_file = ctx.file;
+      v_line = p.pos_lnum;
+      v_col = p.pos_cnum - p.pos_bol;
+      v_rule = "R2";
+      v_msg = msg;
+    }
+  in
+  ctx.item_pending <- v :: ctx.item_pending
+
+(* One longident use site.  [args] is [Some args] when the ident is the
+   function of an application, [None] when it floats as a value. *)
+let check_lid ctx (loc : Location.t) lid ~args =
+  let path = flatten_lid lid in
+  match path with
+  | [ f ] when List.mem f poly_fns ->
+    if ctx.open_depth = 0 then
+      add ctx loc "R1"
+        (Printf.sprintf
+           "polymorphic '%s': use Int.%s/Float.%s or a module-local typed \
+            comparator"
+           f f f)
+  | [ "Stdlib"; f ] when List.mem f poly_fns ->
+    add ctx loc "R1"
+      (Printf.sprintf
+         "polymorphic 'Stdlib.%s': use Int.%s/Float.%s or a module-local \
+          typed comparator"
+         f f f)
+  | [ op ] when List.mem op cmp_ops -> (
+    match args with
+    | Some (a :: b :: _) ->
+      if is_structural a || is_structural b then
+        add ctx loc "R1"
+          (Printf.sprintf
+             "comparison operator (%s) applied to a tuple/constructor/record \
+              literal: write a typed comparator"
+             op)
+    | Some _ | None ->
+      if ctx.open_depth = 0 then
+        add ctx loc "R1"
+          (Printf.sprintf
+             "polymorphic (%s) used as a function value: use \
+              Int.equal/Float.compare/String.equal"
+             op))
+  | [ "Hashtbl"; fn ] when List.mem fn hashtbl_unordered ->
+    pending_r2 ctx loc
+      (Printf.sprintf
+         "Hashtbl.%s iterates in unspecified order: sort the result, or \
+          annotate with (* p2plint: allow-unordered — <reason> *)"
+         fn)
+  | [ "Hashtbl"; ("hash" | "seeded_hash" | "hash_param" | "randomize") ] ->
+    if not ctx.r3_exempt then
+      add ctx loc "R3"
+        (Printf.sprintf "'%s' outside lib/prng//lib/sim: hash-derived state \
+                         breaks replay; thread a Prng.t"
+           (String.concat "." path))
+  | "Random" :: _ | [ "Stdlib"; "Random" ] | "Stdlib" :: "Random" :: _ ->
+    if not ctx.r3_exempt then
+      add ctx loc "R3"
+        (Printf.sprintf
+           "'%s' outside lib/prng//lib/sim: use the seeded Prng.t threaded \
+            through the scenario"
+           (String.concat "." path))
+  | [ "Sys"; "time" ] | [ "Unix"; ("gettimeofday" | "time") ] ->
+    if not ctx.r3_exempt then
+      add ctx loc "R3"
+        (Printf.sprintf
+           "'%s' outside lib/prng//lib/sim: wall-clock reads break replay; \
+            use the simulator clock"
+           (String.concat "." path))
+  | [ ("List" | "Array" | "ListLabels" | "ArrayLabels"); fn ]
+    when List.mem fn sort_fns ->
+    ctx.item_sorts <- true
+  | _ -> ()
+
+let rec pattern_catches_all p =
+  match p.ppat_desc with
+  | Ppat_any -> true
+  | Ppat_alias (inner, _) -> pattern_catches_all inner
+  | Ppat_or (a, b) -> pattern_catches_all a || pattern_catches_all b
+  | Ppat_constraint (inner, _) -> pattern_catches_all inner
+  | _ -> false
+
+let check_try ctx cases =
+  List.iter
+    (fun c ->
+      if pattern_catches_all c.pc_lhs then
+        add ctx c.pc_lhs.ppat_loc "R4"
+          "catch-all exception handler ('try ... with _ ->') swallows \
+           failures: match the specific exceptions instead")
+    cases
+
+let make_iterator ctx =
+  let super = Ast_iterator.default_iterator in
+  let expr (iter : Ast_iterator.iterator) e =
+    match e.pexp_desc with
+    | Pexp_open (_, body) ->
+      ctx.open_depth <- ctx.open_depth + 1;
+      iter.expr iter body;
+      ctx.open_depth <- ctx.open_depth - 1
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args) ->
+      check_lid ctx loc txt ~args:(Some (List.map snd args));
+      List.iter (fun (_, a) -> iter.expr iter a) args
+    | Pexp_ident { txt; loc } -> check_lid ctx loc txt ~args:None
+    | Pexp_try (body, cases) ->
+      check_try ctx cases;
+      iter.expr iter body;
+      List.iter (iter.case iter) cases
+    | _ -> super.expr iter e
+  in
+  let structure_item (iter : Ast_iterator.iterator) item =
+    if ctx.item_depth > 0 then super.structure_item iter item
+    else begin
+      ctx.item_depth <- 1;
+      ctx.item_sorts <- false;
+      ctx.item_pending <- [];
+      super.structure_item iter item;
+      ctx.item_depth <- 0;
+      (* R2 resolution: a deterministic sort in the same top-level
+         binding redeems the unordered traversal. *)
+      if not ctx.item_sorts then
+        ctx.viols <- ctx.item_pending @ ctx.viols;
+      ctx.item_sorts <- false;
+      ctx.item_pending <- []
+    end
+  in
+  { super with expr; structure_item }
+
+(* ---- per-file driver --------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let r3_exempt_file path =
+  let has sub =
+    match find_sub path sub with Some _ -> true | None -> false
+  in
+  has "lib/prng/" || has "lib/sim/"
+
+let lint_source ~file source =
+  let ctx =
+    {
+      file;
+      r3_exempt = r3_exempt_file file;
+      viols = [];
+      open_depth = 0;
+      item_depth = 0;
+      item_sorts = false;
+      item_pending = [];
+    }
+  in
+  let parsed =
+    let lexbuf = Lexing.from_string source in
+    Location.init lexbuf file;
+    match Parse.implementation lexbuf with
+    | ast -> Ok ast
+    | exception Syntaxerr.Error _ ->
+      Error
+        { v_file = file; v_line = lexbuf.lex_curr_p.pos_lnum; v_col = 0;
+          v_rule = "PARSE"; v_msg = "syntax error" }
+    | exception Lexer.Error (_, loc) ->
+      Error
+        { v_file = file; v_line = loc.loc_start.pos_lnum; v_col = 0;
+          v_rule = "PARSE"; v_msg = "lexer error" }
+  in
+  match parsed with
+  | Error v -> [ v ]
+  | Ok ast ->
+    let iter = make_iterator ctx in
+    iter.structure iter ast;
+    let sups = scan_suppressions source in
+    let suppressed v =
+      List.exists
+        (fun s ->
+          s.s_reason && s.s_rule = v.v_rule
+          && (s.s_line = v.v_line || s.s_line = v.v_line - 1))
+        sups
+    in
+    let kept = List.filter (fun v -> not (suppressed v)) ctx.viols in
+    let bad_sups =
+      List.filter_map
+        (fun s ->
+          if s.s_reason then None
+          else
+            Some
+              {
+                v_file = file;
+                v_line = s.s_line;
+                v_col = 0;
+                v_rule = s.s_rule;
+                v_msg =
+                  Printf.sprintf
+                    "suppression '%s' is missing a reason: write (* p2plint: \
+                     %s — <why this is deterministic/safe> *)"
+                    s.s_kw s.s_kw;
+              })
+        sups
+    in
+    List.sort_uniq compare_violation (bad_sups @ kept)
+
+let lint_file file = lint_source ~file (read_file file)
+
+(* ---- R5: interface coverage ------------------------------------------- *)
+
+let check_mli_dir dir =
+  match Sys.is_directory dir with
+  | false | (exception Sys_error _) -> []
+  | true ->
+    let entries = Sys.readdir dir in
+    Array.sort String.compare entries;
+    let names = Array.to_list entries in
+    List.filter_map
+      (fun f ->
+        if Filename.check_suffix f ".ml" then
+          let base = Filename.chop_suffix f ".ml" in
+          if List.mem (base ^ ".mli") names then None
+          else
+            Some
+              {
+                v_file = Filename.concat dir f;
+                v_line = 1;
+                v_col = 0;
+                v_rule = "R5";
+                v_msg =
+                  Printf.sprintf
+                    "library module '%s' has no interface: add %s.mli" base
+                    base;
+              }
+        else None)
+      names
+
+(* ---- walking ----------------------------------------------------------- *)
+
+(* Pruning applies while descending, never to a path passed
+   explicitly: `p2plint test` skips the deliberately-broken fixtures,
+   `p2plint test/lint_fixtures` lints them. *)
+let pruned = [ "_build"; ".git"; "lint_fixtures"; "results" ]
+
+let rec walk_children dir acc =
+  let entries = Sys.readdir dir in
+  Array.sort String.compare entries;
+  Array.fold_left
+    (fun acc f ->
+      let path = Filename.concat dir f in
+      if Sys.is_directory path then
+        if List.mem f pruned then acc else walk_children path acc
+      else if Filename.check_suffix path ".ml" then path :: acc
+      else acc)
+    acc entries
+
+let files_of_path p =
+  if Sys.is_directory p then walk_children p []
+  else if Filename.check_suffix p ".ml" then [ p ]
+  else []
+
+let run paths =
+  let files =
+    List.rev (List.fold_left (fun acc p -> files_of_path p @ acc) [] paths)
+  in
+  let ast_viols = List.concat_map lint_file files in
+  let mli_viols =
+    List.concat_map
+      (fun p ->
+        if Sys.is_directory p && Filename.basename p = "lib" then begin
+          let entries = Sys.readdir p in
+          Array.sort String.compare entries;
+          Array.to_list entries
+          |> List.map (Filename.concat p)
+          |> List.filter Sys.is_directory
+          |> List.concat_map check_mli_dir
+        end
+        else [])
+      paths
+  in
+  List.sort compare_violation (ast_viols @ mli_viols)

@@ -1,0 +1,58 @@
+(** [p2plint] — determinism & robustness linter for the p2plb simulator.
+
+    Bit-for-bit replayable runs are a core deliverable of this
+    reproduction (fault plans, seeded experiments, digest-compared
+    reports).  This linter enforces, syntactically, the project rules
+    that make replayability hold:
+
+    - [R1] no polymorphic [compare]/[min]/[max], no comparison
+      operators applied to tuple/constructor/record/array literals,
+      and no comparison operator passed around as a bare function
+      value.  Use [Int.compare], [Float.compare], [String.equal], or a
+      module-local typed compare instead: polymorphic compare is
+      NaN-unsafe on floats and slow on the hot paths.
+    - [R2] no [Hashtbl.iter]/[Hashtbl.fold]/[Hashtbl.to_seq] whose
+      result escapes without a subsequent deterministic sort in the
+      same top-level binding.  Suppressible per use with
+      [(* p2plint: allow-unordered — <reason> *)] on the same or the
+      preceding line; the reason is mandatory.
+    - [R3] no ambient nondeterminism — [Stdlib.Random], [Sys.time],
+      [Unix.gettimeofday]/[Unix.time], [Hashtbl.hash]-family — outside
+      [lib/prng/] and [lib/sim/], the two places allowed to own
+      seeded randomness and virtual time.
+    - [R4] no catch-all [try ... with _ ->] exception swallowing.
+    - [R5] every [.ml] in a [lib/*] library has a matching [.mli].
+
+    Suppression comments exist for every syntactic rule:
+    [allow-polycompare] (R1), [allow-unordered] (R2), [allow-impure]
+    (R3), [allow-catchall] (R4); each must carry a reason after an
+    [—], [-] or [:] separator. *)
+
+type violation = {
+  v_file : string;
+  v_line : int;
+  v_col : int;
+  v_rule : string;  (** "R1".."R5", or "PARSE" for unparseable input *)
+  v_msg : string;
+}
+
+val compare_violation : violation -> violation -> int
+(** Order by file, then line, then column — the report order. *)
+
+val to_string : violation -> string
+(** Renders ["file:line: [RULE] message"]. *)
+
+val lint_file : string -> violation list
+(** Rules R1–R4 (plus suppression-comment validation) on one [.ml]
+    file.  Unparseable files yield a single [PARSE] violation. *)
+
+val check_mli_dir : string -> violation list
+(** Rule R5 on one library directory: every [x.ml] directly inside it
+    must have a sibling [x.mli]. *)
+
+val run : string list -> violation list
+(** Walk each path (file or directory, recursively; [_build], [.git]
+    and [lint_fixtures] pruned), apply [lint_file] to every [.ml]
+    found, and apply [check_mli_dir] to each immediate subdirectory of
+    any path whose basename is [lib].  Result is sorted with
+    {!compare_violation}. *)

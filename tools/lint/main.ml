@@ -1,0 +1,25 @@
+(* p2plint CLI.  Usage: [p2plint [path ...]]; with no arguments lints
+   the project's default scope.  Exits 1 when violations are found so
+   the [@lint] alias fails the build. *)
+
+let default_paths = [ "lib"; "bin"; "bench"; "test"; "tools"; "examples" ]
+
+let () =
+  let paths =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] -> default_paths
+    | args -> args
+  in
+  let missing = List.filter (fun p -> not (Sys.file_exists p)) paths in
+  (match missing with
+  | [] -> ()
+  | _ :: _ ->
+    List.iter (Printf.eprintf "p2plint: no such path: %s\n") missing;
+    exit 2);
+  let viols = P2plint.Lint.run paths in
+  match viols with
+  | [] -> Printf.printf "p2plint: OK (%s)\n" (String.concat " " paths)
+  | _ :: _ ->
+    List.iter (fun v -> print_endline (P2plint.Lint.to_string v)) viols;
+    Printf.eprintf "p2plint: %d violation(s)\n" (List.length viols);
+    exit 1
