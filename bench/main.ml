@@ -28,6 +28,10 @@ module TS = P2plb_topology.Transit_stub
 module Hilbert = P2plb_hilbert.Hilbert
 module Workload = P2plb_workload.Workload
 module Prng = P2plb_prng.Prng
+module Obs = P2plb_obs.Obs
+module Registry = P2plb_obs.Registry
+module Histogram = P2plb_metrics.Histogram
+module Report = P2plb_metrics.Report
 
 let env_int name default =
   match Sys.getenv_opt name with
@@ -41,44 +45,108 @@ let seed = env_int "P2PLB_SEED" 1
 let section title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
 
+(* Every figure run gets its own observability bundle; the registries
+   are summarised in one per-experiment table after the figures. *)
+let metrics_acc : (string * Obs.t) list ref = ref []
+
+let observed name f =
+  let obs = Obs.create () in
+  metrics_acc := (name, obs) :: !metrics_acc;
+  f obs
+
+let metrics_table () =
+  let row (name, obs) =
+    let m = Obs.metrics obs in
+    let c k = Option.value ~default:0 (Registry.find_counter m k) in
+    let events =
+      int_of_float
+        (Option.value ~default:0.0 (Registry.find_gauge m "engine/processed"))
+    in
+    let pct p =
+      match Registry.find_histogram m "vst/hop_cost" with
+      | None -> "-"
+      | Some h -> (
+        match Histogram.percentile_bin h p with
+        | -1 -> "-"
+        | b -> string_of_int b)
+    in
+    [
+      name;
+      string_of_int events;
+      string_of_int (c "round/messages");
+      string_of_int (c "fault/retry");
+      string_of_int (c "vst/transfers");
+      pct 50.0;
+      pct 99.0;
+    ]
+  in
+  Report.table
+    ~title:
+      "Per-experiment registry metrics (events = engine events processed, \
+       fault-driven runs only; hop-cost percentiles in underlay hops)"
+    ~header:
+      [
+        "experiment"; "events"; "messages"; "retries"; "transfers"; "hop p50";
+        "hop p99";
+      ]
+    (List.map row (List.rev !metrics_acc))
+
 let figures () =
   section "Figure 4 (unit load before/after, Gaussian)";
-  print_string (E.render_fig4 (E.fig4 ~seed ~n_nodes ()));
+  observed "fig4" (fun obs ->
+      print_string (E.render_fig4 (E.fig4 ~obs ~seed ~n_nodes ())));
   section "Figure 5 (load vs capacity, Gaussian)";
-  print_string
-    (E.render_capacity_alignment
-       ~title:"load/capacity alignment after LB (Gaussian)"
-       (E.fig5 ~seed ~n_nodes ()));
+  observed "fig5" (fun obs ->
+      print_string
+        (E.render_capacity_alignment
+           ~title:"load/capacity alignment after LB (Gaussian)"
+           (E.fig5 ~obs ~seed ~n_nodes ())));
   section "Figure 6 (load vs capacity, Pareto)";
-  print_string
-    (E.render_capacity_alignment
-       ~title:"load/capacity alignment after LB (Pareto 1.5)"
-       (E.fig6 ~seed ~n_nodes ()));
+  observed "fig6" (fun obs ->
+      print_string
+        (E.render_capacity_alignment
+           ~title:"load/capacity alignment after LB (Pareto 1.5)"
+           (E.fig6 ~obs ~seed ~n_nodes ())));
   section "Figure 7 (moved load vs distance, ts5k-large)";
-  print_string
-    (E.render_proximity
-       ~title:
-         "paper: aware 67%@2 hops, 86%@10; ignorant 13%@10 (10 graphs, 4096 \
-          nodes)"
-       (E.fig7 ~seed ~graphs ~n_nodes ()));
+  observed "fig7" (fun obs ->
+      print_string
+        (E.render_proximity
+           ~title:
+             "paper: aware 67%@2 hops, 86%@10; ignorant 13%@10 (10 graphs, \
+              4096 nodes)"
+           (E.fig7 ~obs ~seed ~graphs ~n_nodes ())));
   section "Figure 8 (moved load vs distance, ts5k-small)";
-  print_string
-    (E.render_proximity
-       ~title:"paper: aware well ahead of ignorant on a scattered overlay"
-       (E.fig8 ~seed ~graphs ~n_nodes ()));
+  observed "fig8" (fun obs ->
+      print_string
+        (E.render_proximity
+           ~title:"paper: aware well ahead of ignorant on a scattered overlay"
+           (E.fig8 ~obs ~seed ~graphs ~n_nodes ())));
   section "T-vsa (VSA rounds vs N, K = 2 and 8)";
-  print_string (E.render_tvsa [ E.tvsa ~seed ~k:2 (); E.tvsa ~seed ~k:8 () ]);
+  observed "tvsa" (fun obs ->
+      print_string
+        (E.render_tvsa [ E.tvsa ~obs ~seed ~k:2 (); E.tvsa ~obs ~seed ~k:8 () ]));
   section "Baselines (CFS, Rao et al.)";
-  print_string (E.render_baselines (E.baselines ~seed ~n_nodes ()));
+  observed "baselines" (fun obs ->
+      print_string (E.render_baselines (E.baselines ~obs ~seed ~n_nodes ())));
   section "Churn / self-repair";
-  print_string (E.render_churn (E.churn ~seed ~n_nodes:(Int.min n_nodes 1024) ()));
+  observed "churn" (fun obs ->
+      print_string
+        (E.render_churn (E.churn ~obs ~seed ~n_nodes:(Int.min n_nodes 1024) ())));
+  section "Mid-round churn resilience (fault injection)";
+  observed "resilience" (fun obs ->
+      print_string
+        (E.render_resilience
+           (E.resilience ~obs ~seed ~n_nodes:(Int.min n_nodes 1024) ())));
   section "Replicated-store durability under churn";
   print_string (E.render_durability (E.durability ~seed ()));
   section "Periodic balancing under load drift";
-  print_string (E.render_load_drift (E.load_drift ~seed ()));
+  observed "drift" (fun obs ->
+      print_string (E.render_load_drift (E.load_drift ~obs ~seed ())));
   section "Message overhead per phase";
-  print_string (E.render_overhead (E.overhead ~seed ()));
+  observed "overhead" (fun obs ->
+      print_string (E.render_overhead (E.overhead ~obs ~seed ())));
   section "Ablations";
+  observed "ablations" (fun obs ->
   print_string
     (E.render_sweep ~title:"epsilon_rel sweep"
        ~header:[ "epsilon_rel"; "heavy after"; "moved" ]
@@ -89,7 +157,7 @@ let figures () =
               string_of_int h;
               Printf.sprintf "%.1f%%" (100.0 *. m);
             ])
-          (E.ablation_epsilon ~seed ~n_nodes:(Int.min n_nodes 2048) ())));
+          (E.ablation_epsilon ~obs ~seed ~n_nodes:(Int.min n_nodes 2048) ())));
   print_newline ();
   print_string
     (E.render_sweep ~title:"rendezvous threshold sweep"
@@ -97,7 +165,7 @@ let figures () =
        (List.map
           (fun (t, a, b) ->
             [ string_of_int t; Printf.sprintf "%.3f" a; Printf.sprintf "%.3f" b ])
-          (E.ablation_threshold ~seed ~n_nodes:(Int.min n_nodes 2048) ())));
+          (E.ablation_threshold ~obs ~seed ~n_nodes:(Int.min n_nodes 2048) ())));
   print_newline ();
   print_string
     (E.render_sweep ~title:"space-filling curve sweep"
@@ -105,7 +173,7 @@ let figures () =
        (List.map
           (fun (c, a, b) ->
             [ c; Printf.sprintf "%.3f" a; Printf.sprintf "%.3f" b ])
-          (E.ablation_curve ~seed ~n_nodes:(Int.min n_nodes 2048) ())));
+          (E.ablation_curve ~obs ~seed ~n_nodes:(Int.min n_nodes 2048) ())));
   print_newline ();
   print_string
     (E.render_sweep ~title:"K-nary degree sweep"
@@ -113,7 +181,7 @@ let figures () =
        (List.map
           (fun (k, d, n, m) ->
             [ string_of_int k; string_of_int d; string_of_int n; string_of_int m ])
-          (E.ablation_k ~seed ~n_nodes:(Int.min n_nodes 2048) ())));
+          (E.ablation_k ~obs ~seed ~n_nodes:(Int.min n_nodes 2048) ())));
   print_newline ();
   print_string
     (E.render_sweep ~title:"landmark count sweep"
@@ -126,7 +194,9 @@ let figures () =
               Printf.sprintf "%.3f" a;
               Printf.sprintf "%.3f" b;
             ])
-          (E.ablation_landmarks ~seed ~n_nodes:(Int.min n_nodes 2048) ())))
+          (E.ablation_landmarks ~obs ~seed ~n_nodes:(Int.min n_nodes 2048) ()))));
+  section "Per-experiment registry metrics";
+  print_string (metrics_table ())
 
 (* ---- bechamel micro-benchmarks ----------------------------------------- *)
 

@@ -3,6 +3,10 @@
    Systems" (IPDPS 2004).  One subcommand per experiment. *)
 
 module E = P2plb.Experiments
+module Obs = P2plb_obs.Obs
+module Trace = P2plb_obs.Trace
+module Registry = P2plb_obs.Registry
+module Summary = P2plb_obs.Summary
 
 open Cmdliner
 
@@ -19,38 +23,99 @@ let graphs_arg =
   Arg.(value & opt int 10 & info [ "graphs" ] ~docv:"G" ~doc)
 
 let csv_arg =
-  let doc = "Also write machine-readable CSV series into $(docv)." in
-  Arg.(value & opt (some dir) None & info [ "csv" ] ~docv:"DIR" ~doc)
+  let doc =
+    "Also write machine-readable CSV series into $(docv) (created if \
+     missing)."
+  in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
+
+(* ---- observability sinks ---------------------------------------------- *)
+
+let trace_out_arg =
+  let doc =
+    "Write the run's structured trace to $(docv) as JSONL: one event per \
+     line, stamped with simulated time, byte-identical across same-seed \
+     runs.  Render it with $(b,lb_sim trace-summary)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let metrics_out_arg =
+  let doc =
+    "Write the run's metrics registry (sorted, digest-stable \
+     $(i,name = value) lines) to $(docv)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let sink_arg =
+  Term.(const (fun t m -> (t, m)) $ trace_out_arg $ metrics_out_arg)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+(* Runs [f] with an observability bundle when either sink is requested
+   and flushes the sinks afterwards (even if [f] raises), creating
+   target directories as needed. *)
+let sinked f (trace_out, metrics_out) =
+  match (trace_out, metrics_out) with
+  | None, None -> f None
+  | _ ->
+    let obs = Obs.create () in
+    Fun.protect
+      ~finally:(fun () ->
+        let flush_to path write =
+          mkdir_p (Filename.dirname path);
+          write ~path;
+          Printf.eprintf "wrote %s\n" path
+        in
+        Option.iter
+          (fun p -> flush_to p (Trace.write_jsonl (Obs.trace obs)))
+          trace_out;
+        Option.iter
+          (fun p -> flush_to p (Registry.write (Obs.metrics obs)))
+          metrics_out)
+      (fun () -> f (Some obs))
 
 let dump_proximity_csv dir name (r : E.proximity_result) =
   let module Csv = P2plb_metrics.Csv in
+  mkdir_p dir;
   let write suffix h =
     let path = Filename.concat dir (name ^ "_" ^ suffix ^ ".csv") in
     let oc = open_out path in
-    output_string oc (Csv.of_histogram h);
-    close_out oc;
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (Csv.of_histogram h));
     Printf.eprintf "wrote %s\n" path
   in
   write "aware" r.E.aware;
   write "ignorant" r.E.ignorant
 
-let run_fig4 seed n_nodes =
-  print_string (E.render_fig4 (E.fig4 ~seed ~n_nodes ()))
+(* ---- experiments -------------------------------------------------------
 
-let run_fig5 seed n_nodes =
+   Each [do_*] body takes the optional observability bundle directly,
+   so [all] can thread a single bundle through every experiment; the
+   [run_*] wrappers bind the per-subcommand sink flags. *)
+
+let do_fig4 obs seed n_nodes =
+  print_string (E.render_fig4 (E.fig4 ?obs ~seed ~n_nodes ()))
+
+let do_fig5 obs seed n_nodes =
   print_string
     (E.render_capacity_alignment
        ~title:"Figure 5 — load vs capacity after LB (Gaussian loads)"
-       (E.fig5 ~seed ~n_nodes ()))
+       (E.fig5 ?obs ~seed ~n_nodes ()))
 
-let run_fig6 seed n_nodes =
+let do_fig6 obs seed n_nodes =
   print_string
     (E.render_capacity_alignment
        ~title:"Figure 6 — load vs capacity after LB (Pareto loads)"
-       (E.fig6 ~seed ~n_nodes ()))
+       (E.fig6 ?obs ~seed ~n_nodes ()))
 
-let run_fig7 seed graphs n_nodes csv =
-  let r = E.fig7 ~seed ~graphs ~n_nodes () in
+let do_fig7 obs seed graphs n_nodes csv =
+  let r = E.fig7 ?obs ~seed ~graphs ~n_nodes () in
   print_string
     (E.render_proximity
        ~title:
@@ -60,8 +125,8 @@ let run_fig7 seed graphs n_nodes csv =
        r);
   Option.iter (fun dir -> dump_proximity_csv dir "fig7" r) csv
 
-let run_fig8 seed graphs n_nodes csv =
-  let r = E.fig8 ~seed ~graphs ~n_nodes () in
+let do_fig8 obs seed graphs n_nodes csv =
+  let r = E.fig8 ?obs ~seed ~graphs ~n_nodes () in
   print_string
     (E.render_proximity
        ~title:
@@ -71,20 +136,20 @@ let run_fig8 seed graphs n_nodes csv =
        r);
   Option.iter (fun dir -> dump_proximity_csv dir "fig8" r) csv
 
-let run_tvsa seed =
+let do_tvsa obs seed =
   print_string
-    (E.render_tvsa [ E.tvsa ~seed ~k:2 (); E.tvsa ~seed ~k:8 () ])
+    (E.render_tvsa [ E.tvsa ?obs ~seed ~k:2 (); E.tvsa ?obs ~seed ~k:8 () ])
 
-let run_baselines seed n_nodes =
-  print_string (E.render_baselines (E.baselines ~seed ~n_nodes ()))
+let do_baselines obs seed n_nodes =
+  print_string (E.render_baselines (E.baselines ?obs ~seed ~n_nodes ()))
 
-let run_churn seed n_nodes =
-  print_string (E.render_churn (E.churn ~seed ~n_nodes ()))
+let do_churn obs seed n_nodes =
+  print_string (E.render_churn (E.churn ?obs ~seed ~n_nodes ()))
 
-let run_resilience seed n_nodes =
-  print_string (E.render_resilience (E.resilience ~seed ~n_nodes ()))
+let do_resilience obs seed n_nodes =
+  print_string (E.render_resilience (E.resilience ?obs ~seed ~n_nodes ()))
 
-let run_verify seed n_nodes =
+let do_verify obs seed n_nodes =
   let module Scenario = P2plb.Scenario in
   let module Ktree = P2plb_ktree.Ktree in
   let module Dht = P2plb_chord.Dht in
@@ -100,7 +165,7 @@ let run_verify seed n_nodes =
   in
   step "fresh network invariants"
     (P2plb.Invariants.all ~tree ~expected_total:total s.Scenario.dht);
-  let r = P2plb.Multiround.run s in
+  let r = P2plb.Multiround.run ?obs s in
   Printf.printf "%-40s %d round(s), final heavy=%d\n" "load balancing"
     (List.length r.P2plb.Multiround.rounds)
     r.P2plb.Multiround.final_heavy;
@@ -114,16 +179,16 @@ let run_verify seed n_nodes =
     (P2plb.Invariants.all ~tree ~expected_total:total s.Scenario.dht);
   print_endline "all checks passed"
 
-let run_overhead seed =
-  print_string (E.render_overhead (E.overhead ~seed ()))
+let do_overhead obs seed =
+  print_string (E.render_overhead (E.overhead ?obs ~seed ()))
 
-let run_durability seed n_nodes =
+let do_durability _obs seed n_nodes =
   print_string (E.render_durability (E.durability ~seed ~n_nodes ()))
 
-let run_drift seed n_nodes =
-  print_string (E.render_load_drift (E.load_drift ~seed ~n_nodes ()))
+let do_drift obs seed n_nodes =
+  print_string (E.render_load_drift (E.load_drift ?obs ~seed ~n_nodes ()))
 
-let run_ablations seed n_nodes =
+let do_ablations obs seed n_nodes =
   print_string
     (E.render_sweep
        ~title:"Ablation — epsilon_rel (balance slack vs residual heavies)"
@@ -135,7 +200,7 @@ let run_ablations seed n_nodes =
               string_of_int h;
               Printf.sprintf "%.1f%%" (100.0 *. m);
             ])
-          (E.ablation_epsilon ~seed ~n_nodes ())));
+          (E.ablation_epsilon ?obs ~seed ~n_nodes ())));
   print_newline ();
   print_string
     (E.render_sweep ~title:"Ablation — rendezvous threshold"
@@ -147,7 +212,7 @@ let run_ablations seed n_nodes =
               Printf.sprintf "%.3f" c2;
               Printf.sprintf "%.3f" c10;
             ])
-          (E.ablation_threshold ~seed ~n_nodes ())));
+          (E.ablation_threshold ?obs ~seed ~n_nodes ())));
   print_newline ();
   print_string
     (E.render_sweep ~title:"Ablation — space-filling curve for VSA keys"
@@ -155,7 +220,7 @@ let run_ablations seed n_nodes =
        (List.map
           (fun (c, c2, c10) ->
             [ c; Printf.sprintf "%.3f" c2; Printf.sprintf "%.3f" c10 ])
-          (E.ablation_curve ~seed ~n_nodes ())));
+          (E.ablation_curve ?obs ~seed ~n_nodes ())));
   print_newline ();
   print_string
     (E.render_sweep ~title:"Ablation — K-nary tree degree"
@@ -168,7 +233,7 @@ let run_ablations seed n_nodes =
               string_of_int n;
               string_of_int m;
             ])
-          (E.ablation_k ~seed ~n_nodes ())));
+          (E.ablation_k ?obs ~seed ~n_nodes ())));
   print_newline ();
   print_string
     (E.render_sweep
@@ -182,97 +247,156 @@ let run_ablations seed n_nodes =
               Printf.sprintf "%.3f" c2;
               Printf.sprintf "%.3f" c10;
             ])
-          (E.ablation_landmarks ~seed ~n_nodes ())))
+          (E.ablation_landmarks ?obs ~seed ~n_nodes ())))
 
-let run_all seed graphs n_nodes =
-  run_fig4 seed n_nodes;
+let do_all obs seed graphs n_nodes =
+  do_fig4 obs seed n_nodes;
   print_newline ();
-  run_fig5 seed n_nodes;
+  do_fig5 obs seed n_nodes;
   print_newline ();
-  run_fig6 seed n_nodes;
+  do_fig6 obs seed n_nodes;
   print_newline ();
-  run_fig7 seed graphs n_nodes None;
+  do_fig7 obs seed graphs n_nodes None;
   print_newline ();
-  run_fig8 seed graphs n_nodes None;
+  do_fig8 obs seed graphs n_nodes None;
   print_newline ();
-  run_tvsa seed;
+  do_tvsa obs seed;
   print_newline ();
-  run_baselines seed n_nodes;
+  do_baselines obs seed n_nodes;
   print_newline ();
-  run_churn seed (Int.min n_nodes 1024);
+  do_churn obs seed (Int.min n_nodes 1024);
   print_newline ();
-  run_resilience seed (Int.min n_nodes 1024);
+  do_resilience obs seed (Int.min n_nodes 1024);
   print_newline ();
-  run_overhead seed;
+  do_overhead obs seed;
   print_newline ();
-  run_durability seed (Int.min n_nodes 512);
+  do_durability obs seed (Int.min n_nodes 512);
   print_newline ();
-  run_drift seed (Int.min n_nodes 1024);
+  do_drift obs seed (Int.min n_nodes 1024);
   print_newline ();
-  run_ablations seed (Int.min n_nodes 2048)
+  do_ablations obs seed (Int.min n_nodes 2048)
+
+let run_fig4 seed n sinks = sinked (fun obs -> do_fig4 obs seed n) sinks
+let run_fig5 seed n sinks = sinked (fun obs -> do_fig5 obs seed n) sinks
+let run_fig6 seed n sinks = sinked (fun obs -> do_fig6 obs seed n) sinks
+
+let run_fig7 seed graphs n csv sinks =
+  sinked (fun obs -> do_fig7 obs seed graphs n csv) sinks
+
+let run_fig8 seed graphs n csv sinks =
+  sinked (fun obs -> do_fig8 obs seed graphs n csv) sinks
+
+let run_tvsa seed sinks = sinked (fun obs -> do_tvsa obs seed) sinks
+
+let run_baselines seed n sinks =
+  sinked (fun obs -> do_baselines obs seed n) sinks
+
+let run_churn seed n sinks = sinked (fun obs -> do_churn obs seed n) sinks
+
+let run_resilience seed n sinks =
+  sinked (fun obs -> do_resilience obs seed n) sinks
+
+let run_verify seed n sinks = sinked (fun obs -> do_verify obs seed n) sinks
+let run_overhead seed sinks = sinked (fun obs -> do_overhead obs seed) sinks
+
+let run_durability seed n sinks =
+  sinked (fun obs -> do_durability obs seed n) sinks
+
+let run_drift seed n sinks = sinked (fun obs -> do_drift obs seed n) sinks
+
+let run_ablations seed n sinks =
+  sinked (fun obs -> do_ablations obs seed n) sinks
+
+let run_all seed graphs n sinks =
+  sinked (fun obs -> do_all obs seed graphs n) sinks
+
+(* ---- trace-summary ----------------------------------------------------- *)
+
+let run_trace_summary file =
+  match Trace.load_jsonl file with
+  | Ok evs -> print_string (Summary.render evs)
+  | Error e ->
+    prerr_endline ("trace-summary: " ^ e);
+    exit 1
+
+let trace_file_arg =
+  let doc = "Trace to render (JSONL, as written by $(b,--trace-out))." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+(* ---- command set ------------------------------------------------------- *)
 
 let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
 
 let fig4_cmd =
   cmd "fig4" "Unit-load scatter before/after load balancing (Gaussian)."
-    Term.(const run_fig4 $ seed_arg $ nodes_arg 4096)
+    Term.(const run_fig4 $ seed_arg $ nodes_arg 4096 $ sink_arg)
 
 let fig5_cmd =
   cmd "fig5" "Load vs capacity category after LB (Gaussian)."
-    Term.(const run_fig5 $ seed_arg $ nodes_arg 4096)
+    Term.(const run_fig5 $ seed_arg $ nodes_arg 4096 $ sink_arg)
 
 let fig6_cmd =
   cmd "fig6" "Load vs capacity category after LB (Pareto)."
-    Term.(const run_fig6 $ seed_arg $ nodes_arg 4096)
+    Term.(const run_fig6 $ seed_arg $ nodes_arg 4096 $ sink_arg)
 
 let fig7_cmd =
   cmd "fig7" "Moved-load distance distribution and CDF on ts5k-large."
-    Term.(const run_fig7 $ seed_arg $ graphs_arg $ nodes_arg 4096 $ csv_arg)
+    Term.(
+      const run_fig7 $ seed_arg $ graphs_arg $ nodes_arg 4096 $ csv_arg
+      $ sink_arg)
 
 let fig8_cmd =
   cmd "fig8" "Moved-load distance distribution and CDF on ts5k-small."
-    Term.(const run_fig8 $ seed_arg $ graphs_arg $ nodes_arg 4096 $ csv_arg)
+    Term.(
+      const run_fig8 $ seed_arg $ graphs_arg $ nodes_arg 4096 $ csv_arg
+      $ sink_arg)
 
 let tvsa_cmd =
   cmd "tvsa" "VSA rounds vs network size for K = 2 and K = 8."
-    Term.(const run_tvsa $ seed_arg)
+    Term.(const run_tvsa $ seed_arg $ sink_arg)
 
 let baselines_cmd =
   cmd "baselines" "Compare against CFS shedding and the Rao et al. schemes."
-    Term.(const run_baselines $ seed_arg $ nodes_arg 4096)
+    Term.(const run_baselines $ seed_arg $ nodes_arg 4096 $ sink_arg)
 
 let churn_cmd =
   cmd "churn" "Self-repair: crash/join nodes, refresh the KT tree, rebalance."
-    Term.(const run_churn $ seed_arg $ nodes_arg 1024)
+    Term.(const run_churn $ seed_arg $ nodes_arg 1024 $ sink_arg)
 
 let resilience_cmd =
   cmd "resilience"
     "Fault injection: mid-round crashes + message loss, KT repair, retries."
-    Term.(const run_resilience $ seed_arg $ nodes_arg 1024)
+    Term.(const run_resilience $ seed_arg $ nodes_arg 1024 $ sink_arg)
 
 let durability_cmd =
   cmd "durability" "Replicated-store availability and loss under churn."
-    Term.(const run_durability $ seed_arg $ nodes_arg 512)
+    Term.(const run_durability $ seed_arg $ nodes_arg 512 $ sink_arg)
 
 let drift_cmd =
   cmd "drift" "Periodic balancing under load drift."
-    Term.(const run_drift $ seed_arg $ nodes_arg 1024)
+    Term.(const run_drift $ seed_arg $ nodes_arg 1024 $ sink_arg)
 
 let verify_cmd =
   cmd "verify" "Run whole-system invariant checks through LB and churn."
-    Term.(const run_verify $ seed_arg $ nodes_arg 512)
+    Term.(const run_verify $ seed_arg $ nodes_arg 512 $ sink_arg)
 
 let overhead_cmd =
   cmd "overhead" "Per-phase message cost of one LB round vs network size."
-    Term.(const run_overhead $ seed_arg)
+    Term.(const run_overhead $ seed_arg $ sink_arg)
 
 let ablations_cmd =
   cmd "ablations" "Design-choice sweeps: epsilon, threshold, curve, K."
-    Term.(const run_ablations $ seed_arg $ nodes_arg 2048)
+    Term.(const run_ablations $ seed_arg $ nodes_arg 2048 $ sink_arg)
 
 let all_cmd =
   cmd "all" "Run every experiment in sequence."
-    Term.(const run_all $ seed_arg $ graphs_arg $ nodes_arg 4096)
+    Term.(const run_all $ seed_arg $ graphs_arg $ nodes_arg 4096 $ sink_arg)
+
+let trace_summary_cmd =
+  cmd "trace-summary"
+    "Render a recorded trace: per-phase span tables, point-event counts, \
+     and the hop-cost distribution reconstructed from vst/transfer events."
+    Term.(const run_trace_summary $ trace_file_arg)
 
 let () =
   let info =
@@ -299,6 +423,7 @@ let () =
         verify_cmd;
         ablations_cmd;
         all_cmd;
+        trace_summary_cmd;
       ]
   in
   exit (Cmd.eval group)

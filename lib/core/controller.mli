@@ -60,13 +60,24 @@ type outcome = {
 
 val run :
   ?config:config -> ?faults:Faults.t -> ?engine:Engine.t ->
-  Scenario.t -> outcome
+  ?obs:P2plb_obs.Obs.t -> Scenario.t -> outcome
 (** One load-balancing round over the scenario's current loads.
     Mutates the scenario's DHT (virtual servers move).  [faults]
     injects message loss (and supplies retry policy); [engine], when
     given, is advanced to the round's phase barriers so armed fault
     events fire mid-round.  Without them the round is byte-identical
-    to the fault-free code path. *)
+    to the fault-free code path.
+
+    [obs] records the round as five spans — ["phase/kt_build"],
+    ["phase/lbi"], ["phase/classify"], ["phase/vsa"], ["phase/vst"]
+    (tagged with the round's aware/ignorant [mode]) — each carrying
+    per-phase message counts, sweep depths and engine-event deltas,
+    plus the point events of every instrumented subsystem (faults, KT
+    repair, VST transfers).  Trace timestamps follow the engine clock
+    when [engine] is given and a logical clock advanced at the phase
+    barriers otherwise; wall clocks are never read, so same-seed
+    traces are byte-identical.  Passing [obs] does not perturb the
+    round itself. *)
 
 val moved_fraction : outcome -> float
 (** Moved load as a fraction of total system load. *)

@@ -23,10 +23,10 @@ type balance_result = {
   gini_after : float;
 }
 
-let balance_run ~seed ~n_nodes ~workload =
+let balance_run ?obs ~seed ~n_nodes ~workload () =
   let config = { Scenario.default with n_nodes; workload } in
   let s = Scenario.build ~seed config in
-  let o = Controller.run s in
+  let o = Controller.run ?obs s in
   let hb, _, _ = o.Controller.census_before in
   let ha, _, _ = o.Controller.census_after in
   {
@@ -41,13 +41,13 @@ let balance_run ~seed ~n_nodes ~workload =
     gini_after = Stats.gini o.Controller.unit_loads_after;
   }
 
-let fig4 ?(seed = 1) ?(n_nodes = 4096) () =
-  balance_run ~seed ~n_nodes ~workload:Workload.default_gaussian
+let fig4 ?obs ?(seed = 1) ?(n_nodes = 4096) () =
+  balance_run ?obs ~seed ~n_nodes ~workload:Workload.default_gaussian ()
 
 let fig5 = fig4
 
-let fig6 ?(seed = 1) ?(n_nodes = 4096) () =
-  balance_run ~seed ~n_nodes ~workload:Workload.default_pareto
+let fig6 ?obs ?(seed = 1) ?(n_nodes = 4096) () =
+  balance_run ?obs ~seed ~n_nodes ~workload:Workload.default_pareto ()
 
 let percentiles_row label xs =
   [
@@ -183,7 +183,7 @@ let locality_ceiling (s : Scenario.t) =
       0.0 supply_bindings
     /. total
 
-let proximity_run ~seed ~graphs ~n_nodes ~topology =
+let proximity_run ?obs ~seed ~graphs ~n_nodes ~topology () =
   if graphs < 1 then invalid_arg "Experiments: graphs < 1";
   let aware = ref (Histogram.create ())
   and ignorant = ref (Histogram.create ()) in
@@ -195,7 +195,7 @@ let proximity_run ~seed ~graphs ~n_nodes ~topology =
         let s = Scenario.build ~seed:(seed + (1000 * g)) config in
         if proximity then ceilings := !ceilings +. locality_ceiling s;
         let cc = { Controller.default with Controller.proximity } in
-        let o = Controller.run ~config:cc s in
+        let o = Controller.run ~config:cc ?obs s in
         let hist = o.Controller.vst.Vst.hist in
         if proximity then aware := Histogram.merge !aware hist
         else ignorant := Histogram.merge !ignorant hist)
@@ -219,11 +219,11 @@ let proximity_run ~seed ~graphs ~n_nodes ~topology =
     graphs;
   }
 
-let fig7 ?(seed = 1) ?(graphs = 10) ?(n_nodes = 4096) () =
-  proximity_run ~seed ~graphs ~n_nodes ~topology:Transit_stub.ts5k_large
+let fig7 ?obs ?(seed = 1) ?(graphs = 10) ?(n_nodes = 4096) () =
+  proximity_run ?obs ~seed ~graphs ~n_nodes ~topology:Transit_stub.ts5k_large ()
 
-let fig8 ?(seed = 1) ?(graphs = 10) ?(n_nodes = 4096) () =
-  proximity_run ~seed ~graphs ~n_nodes ~topology:Transit_stub.ts5k_small
+let fig8 ?obs ?(seed = 1) ?(graphs = 10) ?(n_nodes = 4096) () =
+  proximity_run ?obs ~seed ~graphs ~n_nodes ~topology:Transit_stub.ts5k_small ()
 
 let render_proximity ~title r =
   let buf = Buffer.create 4096 in
@@ -280,7 +280,7 @@ type tvsa_result = {
   n_nodes_sweep : (int * int * int) list;
 }
 
-let tvsa ?(seed = 1) ~k () =
+let tvsa ?obs ?(seed = 1) ~k () =
   let sizes = [ 256; 512; 1024; 2048; 4096 ] in
   let rows =
     List.map
@@ -288,7 +288,7 @@ let tvsa ?(seed = 1) ~k () =
         let config = { Scenario.default with n_nodes } in
         let s = Scenario.build ~seed config in
         let cc = { Controller.default with Controller.k } in
-        let o = Controller.run ~config:cc s in
+        let o = Controller.run ~config:cc ?obs s in
         (n_nodes, o.Controller.tree_depth, o.Controller.vsa_rounds))
       sizes
   in
@@ -326,7 +326,7 @@ type baseline_row = {
   b_cdf10 : float;
 }
 
-let baselines ?(seed = 1) ?(n_nodes = 4096) () =
+let baselines ?obs ?(seed = 1) ?(n_nodes = 4096) () =
   let config = { Scenario.default with n_nodes } in
   let fresh () = Scenario.build ~seed config in
   let hist_mean h =
@@ -342,7 +342,7 @@ let baselines ?(seed = 1) ?(n_nodes = 4096) () =
     let s = fresh () in
     let total = Dht.total_load s.Scenario.dht in
     let cc = { Controller.default with Controller.proximity } in
-    let o = Controller.run ~config:cc s in
+    let o = Controller.run ~config:cc ?obs s in
     let hb, _, _ = o.Controller.census_before in
     let ha, _, _ = o.Controller.census_after in
     {
@@ -411,7 +411,7 @@ type churn_result = {
   heavy_after_churn_lb : int;
 }
 
-let churn ?(seed = 1) ?(n_nodes = 1024) ?(crash_fraction = 0.1) () =
+let churn ?obs ?(seed = 1) ?(n_nodes = 1024) ?(crash_fraction = 0.1) () =
   let config = { Scenario.default with n_nodes } in
   let s = Scenario.build ~seed config in
   let dht = s.Scenario.dht in
@@ -425,7 +425,7 @@ let churn ?(seed = 1) ?(n_nodes = 1024) ?(crash_fraction = 0.1) () =
     match Ktree.check_consistent tree dht with Ok () -> true | Error _ -> false
   in
   let refresh_messages = Ktree.messages tree in
-  let o = Controller.run s in
+  let o = Controller.run ?obs s in
   let ha, _, _ = o.Controller.census_after in
   {
     crashed;
@@ -460,7 +460,7 @@ type resilience_row = {
   z_invariants_ok : bool;
 }
 
-let resilience ?(seed = 1) ?(n_nodes = 1024) ?(max_rounds = 3) () =
+let resilience ?obs ?(seed = 1) ?(n_nodes = 1024) ?(max_rounds = 3) () =
   List.map
     (fun (crash_fraction, message_loss) ->
       let config = { Scenario.default with n_nodes } in
@@ -471,7 +471,7 @@ let resilience ?(seed = 1) ?(n_nodes = 1024) ?(max_rounds = 3) () =
         P2plb_sim.Faults.create ~seed
           (P2plb_sim.Faults.churn ~crash_fraction ~message_loss ())
       in
-      let r = Multiround.run ~faults ~max_rounds s in
+      let r = Multiround.run ~faults ?obs ~max_rounds s in
       let ok =
         match Invariants.all ~expected_total:total dht with
         | Ok () -> true
@@ -524,58 +524,58 @@ let render_resilience rows =
 
 (* ---- ablations --------------------------------------------------------- *)
 
-let ablation_epsilon ?(seed = 1) ?(n_nodes = 2048) () =
+let ablation_epsilon ?obs ?(seed = 1) ?(n_nodes = 2048) () =
   List.map
     (fun epsilon_rel ->
       let config = { Scenario.default with n_nodes } in
       let s = Scenario.build ~seed config in
       let cc = { Controller.default with Controller.epsilon_rel } in
-      let o = Controller.run ~config:cc s in
+      let o = Controller.run ~config:cc ?obs s in
       let ha, _, _ = o.Controller.census_after in
       (epsilon_rel, ha, Controller.moved_fraction o))
     [ 0.0; 0.01; 0.02; 0.05; 0.1; 0.2 ]
 
-let ablation_threshold ?(seed = 1) ?(n_nodes = 2048) () =
+let ablation_threshold ?obs ?(seed = 1) ?(n_nodes = 2048) () =
   List.map
     (fun threshold ->
       let config = { Scenario.default with n_nodes } in
       let s = Scenario.build ~seed config in
       let cc = { Controller.default with Controller.threshold } in
-      let o = Controller.run ~config:cc s in
+      let o = Controller.run ~config:cc ?obs s in
       ( threshold,
         Controller.cdf_at o ~hops:2,
         Controller.cdf_at o ~hops:10 ))
     [ 5; 10; 30; 100; 300; 1000 ]
 
-let ablation_curve ?(seed = 1) ?(n_nodes = 2048) () =
+let ablation_curve ?obs ?(seed = 1) ?(n_nodes = 2048) () =
   List.map
     (fun curve ->
       let config = { Scenario.default with n_nodes } in
       let s = Scenario.build ~seed config in
       let cc = { Controller.default with Controller.curve } in
-      let o = Controller.run ~config:cc s in
+      let o = Controller.run ~config:cc ?obs s in
       ( Hilbert.curve_to_string curve,
         Controller.cdf_at o ~hops:2,
         Controller.cdf_at o ~hops:10 ))
     [ Hilbert.Hilbert; Hilbert.Morton; Hilbert.Row_major ]
 
-let ablation_k ?(seed = 1) ?(n_nodes = 2048) () =
+let ablation_k ?obs ?(seed = 1) ?(n_nodes = 2048) () =
   List.map
     (fun k ->
       let config = { Scenario.default with n_nodes } in
       let s = Scenario.build ~seed config in
       let cc = { Controller.default with Controller.k } in
-      let o = Controller.run ~config:cc s in
+      let o = Controller.run ~config:cc ?obs s in
       (k, o.Controller.tree_depth, o.Controller.tree_nodes, o.Controller.tree_messages))
     [ 2; 4; 8 ]
 
-let ablation_landmarks ?(seed = 1) ?(n_nodes = 2048) () =
+let ablation_landmarks ?obs ?(seed = 1) ?(n_nodes = 2048) () =
   List.map
     (fun (landmark_m, hilbert_order) ->
       let config = { Scenario.default with n_nodes; landmark_m } in
       let s = Scenario.build ~seed config in
       let cc = { Controller.default with Controller.hilbert_order } in
-      let o = Controller.run ~config:cc s in
+      let o = Controller.run ~config:cc ?obs s in
       ( landmark_m,
         hilbert_order,
         Controller.cdf_at o ~hops:2,
@@ -591,12 +591,12 @@ type overhead_row = {
   o_transfers : int;
 }
 
-let overhead ?(seed = 1) () =
+let overhead ?obs ?(seed = 1) () =
   List.map
     (fun n_nodes ->
       let config = { Scenario.default with n_nodes } in
       let s = Scenario.build ~seed config in
-      let o = Controller.run s in
+      let o = Controller.run ?obs s in
       {
         o_nodes = n_nodes;
         o_tree_messages = o.Controller.tree_messages;
@@ -685,7 +685,7 @@ type drift_row = {
   t_moved_fraction : float;
 }
 
-let load_drift ?(seed = 1) ?(n_nodes = 1024) ?(epochs = 6) () =
+let load_drift ?obs ?(seed = 1) ?(n_nodes = 1024) ?(epochs = 6) () =
   let config = { Scenario.default with n_nodes } in
   let s = Scenario.build ~seed config in
   let dht = s.Scenario.dht in
@@ -705,7 +705,7 @@ let load_drift ?(seed = 1) ?(n_nodes = 1024) ?(epochs = 6) () =
                 (Workload.vs_load rng s.Scenario.config.Scenario.workload
                    ~fraction)
             end);
-      let o = Controller.run s in
+      let o = Controller.run ?obs s in
       let hb, _, _ = o.Controller.census_before in
       let ha, _, _ = o.Controller.census_after in
       {

@@ -7,7 +7,12 @@ module Transit_stub = P2plb_topology.Transit_stub
     [figN] function runs the experiment at the paper's parameters
     (4096 nodes x 5 VSs, K = 2, Gnutella capacities, 15 landmarks)
     and returns structured results; each [render_figN] formats them
-    as the table/plot the paper shows. *)
+    as the table/plot the paper shows.
+
+    Every experiment that drives load-balancing rounds accepts
+    [?obs:P2plb_obs.Obs.t] and threads it into each round (see
+    {!Controller.run}), so the CLI's [--trace-out] / [--metrics-out]
+    flags work uniformly; [None] leaves the runs untouched. *)
 
 type balance_result = {
   unit_before : float array;  (** load/capacity per node, node order *)
@@ -21,17 +26,17 @@ type balance_result = {
   gini_after : float;
 }
 
-val fig4 : ?seed:int -> ?n_nodes:int -> unit -> balance_result
+val fig4 : ?obs:P2plb_obs.Obs.t -> ?seed:int -> ?n_nodes:int -> unit -> balance_result
 (** Figure 4: unit-load scatter before/after one LB round, Gaussian
     loads.  Paper: ~75% of nodes heavy before; none after. *)
 
 val render_fig4 : balance_result -> string
 
-val fig5 : ?seed:int -> ?n_nodes:int -> unit -> balance_result
+val fig5 : ?obs:P2plb_obs.Obs.t -> ?seed:int -> ?n_nodes:int -> unit -> balance_result
 (** Figure 5: load vs node capacity after LB, Gaussian loads.
     Paper: higher-capacity nodes carry proportionally more load. *)
 
-val fig6 : ?seed:int -> ?n_nodes:int -> unit -> balance_result
+val fig6 : ?obs:P2plb_obs.Obs.t -> ?seed:int -> ?n_nodes:int -> unit -> balance_result
 (** Figure 6: same as Fig. 5 with Pareto(1.5) loads. *)
 
 val render_capacity_alignment : title:string -> balance_result -> string
@@ -51,12 +56,14 @@ type proximity_result = {
 }
 
 val fig7 :
+  ?obs:P2plb_obs.Obs.t ->
   ?seed:int -> ?graphs:int -> ?n_nodes:int -> unit -> proximity_result
 (** Figure 7: moved-load distance distribution and CDF on ts5k-large.
     Paper: aware ≈67% of moved load within 2 hops, ≈86% within 10;
     ignorant ≈13% within 10. *)
 
 val fig8 :
+  ?obs:P2plb_obs.Obs.t ->
   ?seed:int -> ?graphs:int -> ?n_nodes:int -> unit -> proximity_result
 (** Figure 8: same on ts5k-small (nodes scattered Internet-wide). *)
 
@@ -69,7 +76,7 @@ type tvsa_result = {
       (** (N, tree depth, VSA rounds) per network size *)
 }
 
-val tvsa : ?seed:int -> k:int -> unit -> tvsa_result
+val tvsa : ?obs:P2plb_obs.Obs.t -> ?seed:int -> k:int -> unit -> tvsa_result
 (** The O(log_K N) claim: VSA round count versus N for a K-nary
     tree, N in 256..4096. *)
 
@@ -84,7 +91,8 @@ type baseline_row = {
   b_cdf10 : float;
 }
 
-val baselines : ?seed:int -> ?n_nodes:int -> unit -> baseline_row list
+val baselines :
+  ?obs:P2plb_obs.Obs.t -> ?seed:int -> ?n_nodes:int -> unit -> baseline_row list
 (** Our scheme (aware + ignorant) against CFS shedding and the three
     Rao et al. schemes, all on the same ts5k-large instance. *)
 
@@ -99,7 +107,9 @@ type churn_result = {
       (** heavy nodes remaining after one post-churn LB round *)
 }
 
-val churn : ?seed:int -> ?n_nodes:int -> ?crash_fraction:float -> unit -> churn_result
+val churn :
+  ?obs:P2plb_obs.Obs.t ->
+  ?seed:int -> ?n_nodes:int -> ?crash_fraction:float -> unit -> churn_result
 (** Self-repair (§3.1.1): crash a fraction of nodes, join fresh ones,
     refresh the KT tree, check structural consistency, then run one
     LB round on the churned network. *)
@@ -122,6 +132,7 @@ type resilience_row = {
 }
 
 val resilience :
+  ?obs:P2plb_obs.Obs.t ->
   ?seed:int -> ?n_nodes:int -> ?max_rounds:int -> unit -> resilience_row list
 (** The fault-injection experiment: multiround balancing with node
     crashes firing {e at the phase barriers inside} each round plus
@@ -134,23 +145,28 @@ val render_resilience : resilience_row list -> string
 (** {1 Ablations} *)
 
 val ablation_epsilon :
+  ?obs:P2plb_obs.Obs.t ->
   ?seed:int -> ?n_nodes:int -> unit -> (float * int * float) list
 (** epsilon_rel sweep: (epsilon_rel, heavy_after, moved_fraction) —
     the trade-off §3.3 describes. *)
 
 val ablation_threshold :
+  ?obs:P2plb_obs.Obs.t ->
   ?seed:int -> ?n_nodes:int -> unit -> (int * float * float) list
 (** Rendezvous-threshold sweep: (threshold, cdf@2, cdf@10). *)
 
 val ablation_curve :
+  ?obs:P2plb_obs.Obs.t ->
   ?seed:int -> ?n_nodes:int -> unit -> (string * float * float) list
 (** Hilbert vs Morton vs row-major keys: (curve, cdf@2, cdf@10). *)
 
 val ablation_k :
+  ?obs:P2plb_obs.Obs.t ->
   ?seed:int -> ?n_nodes:int -> unit -> (int * int * int * int) list
 (** Tree degree sweep: (K, depth, tree nodes, messages). *)
 
 val ablation_landmarks :
+  ?obs:P2plb_obs.Obs.t ->
   ?seed:int -> ?n_nodes:int -> unit -> (int * int * float * float) list
 (** Landmark-count sweep (m, order, cdf@2, cdf@10): trades per-axis
     key resolution (the 32-bit ring caps [m * order] useful bits)
@@ -165,7 +181,7 @@ type overhead_row = {
   o_transfers : int;
 }
 
-val overhead : ?seed:int -> unit -> overhead_row list
+val overhead : ?obs:P2plb_obs.Obs.t -> ?seed:int -> unit -> overhead_row list
 (** The load-balancing {e cost} the paper argues about: message counts
     of each phase as the network grows (N in 512..4096). *)
 
@@ -194,6 +210,7 @@ type drift_row = {
 }
 
 val load_drift :
+  ?obs:P2plb_obs.Obs.t ->
   ?seed:int -> ?n_nodes:int -> ?epochs:int -> unit -> drift_row list
 (** Periodic balancing under load drift: each epoch redraws 20% of the
     virtual servers' loads (object churn), then runs one LB round.

@@ -44,7 +44,8 @@ let crash_by_rank dht ~rank =
       Dht.crash dht victim.Dht.node_id
   end
 
-let run ?(config = Controller.default) ?faults ?(max_rounds = 10) scenario =
+let run ?(config = Controller.default) ?faults ?obs ?(max_rounds = 10) scenario
+    =
   if max_rounds < 1 then invalid_arg "Multiround.run: max_rounds < 1";
   let dht = scenario.Scenario.dht in
   (* A round occupies one unit of simulated time; the fault plan's
@@ -63,7 +64,7 @@ let run ?(config = Controller.default) ?faults ?(max_rounds = 10) scenario =
   in
   let crashes0 = match faults with Some f -> Faults.crashes f | None -> 0 in
   let rec go index acc total =
-    let o = Controller.run ~config ?faults ?engine scenario in
+    let o = Controller.run ~config ?faults ?engine ?obs scenario in
     (* Drain this round's remaining fault events (e.g. crashes armed
        in the last 30% of the round's time slice). *)
     (match engine with

@@ -47,6 +47,7 @@ type result = {
 val run :
   ?config:Controller.config ->
   ?faults:Faults.t ->
+  ?obs:P2plb_obs.Obs.t ->
   ?max_rounds:int ->
   Scenario.t ->
   result
@@ -55,6 +56,8 @@ val run :
     is enabled, its crash schedule is armed over a horizon of
     [max_rounds] simulated time units and every round is driven with
     the fault plan attached; without it, behaviour is byte-identical
-    to the fault-free path. *)
+    to the fault-free path.  [obs] is threaded into every round
+    (see {!Controller.run}); successive rounds occupy successive units
+    of simulated time in the trace. *)
 
 val pp : Format.formatter -> result -> unit

@@ -14,7 +14,12 @@ type result = {
   restructure_messages : int;
 }
 
-let apply ?tree ~oracle dht assignments =
+let apply ?tree ?obs ~oracle dht assignments =
+  let trace_point name attrs =
+    match obs with
+    | None -> ()
+    | Some o -> P2plb_obs.Trace.point (P2plb_obs.Obs.trace o) name ~attrs
+  in
   let hist = Histogram.create () in
   let moved_load = ref 0.0 in
   let transfers = ref 0 in
@@ -46,6 +51,18 @@ let apply ?tree ~oracle dht assignments =
             ~dst:dst.Dht.underlay
         in
         Histogram.add hist ~bin:hops ~weight:v.Dht.load;
+        trace_point "vst/transfer"
+          [
+            ("hops", P2plb_obs.Trace.Int hops);
+            ("load", P2plb_obs.Trace.Float v.Dht.load);
+          ];
+        (match obs with
+        | None -> ()
+        | Some o ->
+          Histogram.add
+            (P2plb_obs.Registry.histogram (P2plb_obs.Obs.metrics o)
+               "vst/hop_cost")
+            ~bin:hops ~weight:v.Dht.load);
         moved_load := !moved_load +. v.Dht.load;
         incr transfers;
         (match tree with
@@ -57,14 +74,31 @@ let apply ?tree ~oracle dht assignments =
             | None -> 0
           in
           restructure := !restructure + (kt_count * (Ktree.k t + 1)))
-      | None -> incr skipped_vs_gone
-      | Some v when v.Dht.owner <> a.a_from -> incr skipped_owner_changed
-      | Some _ -> incr skipped_dest_dead)
+      | None ->
+        incr skipped_vs_gone;
+        trace_point "vst/skip" [ ("cause", P2plb_obs.Trace.Str "vs_gone") ]
+      | Some v when v.Dht.owner <> a.a_from ->
+        incr skipped_owner_changed;
+        trace_point "vst/skip"
+          [ ("cause", P2plb_obs.Trace.Str "owner_changed") ]
+      | Some _ ->
+        incr skipped_dest_dead;
+        trace_point "vst/skip" [ ("cause", P2plb_obs.Trace.Str "dest_dead") ])
     assignments;
   (* Lazy migration: the tree re-checks its planting after the whole
      VSA/VST round (hosts are VS ids, so structure is unchanged; this
      re-validates coverage after ring-state changes). *)
   (match tree with None -> () | Some t -> Ktree.refresh t dht);
+  (match obs with
+  | None -> ()
+  | Some o ->
+    let m = P2plb_obs.Obs.metrics o in
+    P2plb_obs.Registry.add (P2plb_obs.Registry.counter m "vst/transfers")
+      !transfers;
+    P2plb_obs.Registry.add (P2plb_obs.Registry.counter m "vst/skipped")
+      (!skipped_vs_gone + !skipped_owner_changed + !skipped_dest_dead);
+    P2plb_obs.Registry.accum (P2plb_obs.Registry.gauge m "vst/moved_load")
+      !moved_load);
   {
     hist;
     moved_load = !moved_load;

@@ -32,12 +32,19 @@ type result = {
 
 val apply :
   ?tree:Ktree.t ->
+  ?obs:P2plb_obs.Obs.t ->
   oracle:Graph.Oracle.t ->
   'a Dht.t ->
   Types.assignment list ->
   result
 (** [tree] enables KT-migration message accounting (and is refreshed
-    afterwards under the lazy-migration protocol). *)
+    afterwards under the lazy-migration protocol).
+
+    [obs] records one ["vst/transfer"] trace point per applied
+    assignment (attributes [hops], [load] — Figures 7–8 are derivable
+    from the trace alone) and a cause-tagged ["vst/skip"] per dropped
+    one, plus registry series [vst/transfers], [vst/skipped],
+    [vst/moved_load] and the [vst/hop_cost] histogram. *)
 
 val mean_transfer_distance : result -> float
 (** Load-weighted mean hop distance; 0 when nothing moved. *)

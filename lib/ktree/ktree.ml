@@ -17,7 +17,19 @@ type t = {
   mutable last_rounds : int;
   mutable repaired : int;
   mutable repair_msg : int;
+  mutable obs : P2plb_obs.Obs.t option;
 }
+
+let set_obs t obs = t.obs <- Some obs
+
+let obs_event t name attrs =
+  match t.obs with
+  | None -> ()
+  | Some o ->
+    P2plb_obs.Trace.point (P2plb_obs.Obs.trace o) name ~attrs;
+    P2plb_obs.Registry.add
+      (P2plb_obs.Registry.counter (P2plb_obs.Obs.metrics o) name)
+      1
 
 let k t = t.k
 let root t = t.root
@@ -90,7 +102,17 @@ let build ?(route_messages = false) ~k dht =
       children = Array.make k None;
     }
   in
-  let t = { k; root; msg = 1; last_rounds = 0; repaired = 0; repair_msg = 0 } in
+  let t =
+    {
+      k;
+      root;
+      msg = 1;
+      last_rounds = 0;
+      repaired = 0;
+      repair_msg = 0;
+      obs = None;
+    }
+  in
   grow ~route_messages t dht root;
   t
 
@@ -135,7 +157,8 @@ let refresh ?(route_messages = false) t dht =
     if new_host.Dht.vs_id <> n.host then begin
       n.host <- new_host.Dht.vs_id;
       (* Re-planting notifies parent and children: at most K+1 msgs. *)
-      t.msg <- t.msg + t.k + 1
+      t.msg <- t.msg + t.k + 1;
+      obs_event t "kt/rehost" [ ("depth", P2plb_obs.Trace.Int n.depth) ]
     end;
     if covered_by_host dht n then begin
       (* Became a leaf: prune redundant children. *)
@@ -197,6 +220,7 @@ let repair ?(route_messages = false) t dht =
     t.msg <- t.msg + t.k + 1;
     t.repair_msg <- t.repair_msg + t.k + 1;
     t.repaired <- t.repaired + 1;
+    obs_event t "kt/replant" [ ("depth", P2plb_obs.Trace.Int n.depth) ];
     incr repaired_now
   in
   let rec visit ~from n =

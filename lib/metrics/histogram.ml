@@ -39,6 +39,24 @@ let cumulative_fraction t b =
     !acc /. t.sum
   end
 
+let percentile_bin t p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Histogram.percentile_bin: p outside [0, 100]";
+  if t.sum <= 0.0 then -1
+  else begin
+    let target = p /. 100.0 *. t.sum in
+    let acc = ref 0.0 and b = ref (-1) in
+    (try
+       for i = 0 to t.hi do
+         acc := !acc +. t.w.(i);
+         if !acc >= target && t.w.(i) > 0.0 then begin
+           b := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !b < 0 then t.hi else !b
+  end
+
 let bins t =
   let out = ref [] in
   for i = t.hi downto 0 do

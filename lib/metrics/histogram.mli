@@ -25,6 +25,11 @@ val fraction_at : t -> int -> float
 val cumulative_fraction : t -> int -> float
 (** Share of total weight in bins [<= b] — the CDF the paper plots. *)
 
+val percentile_bin : t -> float -> int
+(** [percentile_bin t p] is the smallest non-empty bin at or below
+    which at least [p]% of the total weight lies ([p] in [\[0, 100\]]);
+    [-1] if the histogram is empty. *)
+
 val bins : t -> (int * float) list
 (** Non-empty bins in increasing order with their weights. *)
 

@@ -1,0 +1,6 @@
+type t = { trace : Trace.t; metrics : Registry.t }
+
+let create () = { trace = Trace.create (); metrics = Registry.create () }
+
+let trace t = t.trace
+let metrics t = t.metrics

@@ -1,0 +1,14 @@
+(** The observability bundle threaded through a load-balancing round.
+
+    One {!Trace.t} (ordered events in simulated time) plus one
+    {!Registry.t} (named aggregate series).  Instrumented subsystems
+    accept [?obs:Obs.t]; [None] is the zero-overhead default and every
+    instrumentation site degrades to a no-op, so un-observed runs are
+    byte-identical to pre-instrumentation ones. *)
+
+type t = { trace : Trace.t; metrics : Registry.t }
+
+val create : unit -> t
+
+val trace : t -> Trace.t
+val metrics : t -> Registry.t

@@ -1,0 +1,65 @@
+module Histogram = P2plb_metrics.Histogram
+
+(** Named counters, gauges and histograms for load-balancing rounds.
+
+    Handles are get-or-create by name, so independently instrumented
+    subsystems (faults, KT repair, VST) share series without plumbing.
+    The {!dump} is sorted by name and rendered with canonical number
+    formats, so it is digest-stable across runs regardless of hash
+    layout or creation order — the metrics twin of [Trace.digest].
+
+    Histograms are {!P2plb_metrics.Histogram} values, so everything
+    that already consumes them (CSV export, CDF rendering, percentile
+    bins) works on registry series unchanged. *)
+
+type t
+
+type counter
+type gauge
+
+val create : unit -> t
+
+(** {1 Counters} — monotonic integers *)
+
+val counter : t -> string -> counter
+(** Get-or-create. *)
+
+val add : counter -> int -> unit
+val count : counter -> int
+
+(** {1 Gauges} — floats with set / accumulate / running-max updates *)
+
+val gauge : t -> string -> gauge
+(** Get-or-create; initial value 0. *)
+
+val set : gauge -> float -> unit
+val accum : gauge -> float -> unit
+val peak : gauge -> float -> unit
+(** [peak g v] keeps the running maximum of [v] seen so far. *)
+
+val value : gauge -> float
+
+(** {1 Histograms} *)
+
+val histogram : t -> string -> Histogram.t
+(** Get-or-create; update through [Histogram.add]. *)
+
+(** {1 Lookup} — for reports over a finished run *)
+
+val find_counter : t -> string -> int option
+val find_gauge : t -> string -> float option
+val find_histogram : t -> string -> Histogram.t option
+
+(** {1 Digest-stable dump} *)
+
+val rows : t -> (string * string) list
+(** All series, sorted by name, values rendered canonically
+    (histograms as [total/max_bin/p50/p99]). *)
+
+val dump : t -> string
+(** [rows] as ["name = value"] lines. *)
+
+val digest : t -> string
+(** Hex digest of {!dump}. *)
+
+val write : t -> path:string -> unit

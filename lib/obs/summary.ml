@@ -1,0 +1,226 @@
+module Histogram = P2plb_metrics.Histogram
+module Report = P2plb_metrics.Report
+
+(* ---- attribute helpers ------------------------------------------------- *)
+
+let attr_int attrs k =
+  match List.assoc_opt k attrs with
+  | Some (Trace.Int i) -> Some i
+  | Some (Trace.Float f) -> Some (int_of_float f)
+  | Some (Trace.Bool _ | Trace.Str _) | None -> None
+
+let attr_float attrs k =
+  match List.assoc_opt k attrs with
+  | Some (Trace.Float f) -> Some f
+  | Some (Trace.Int i) -> Some (float_of_int i)
+  | Some (Trace.Bool _ | Trace.Str _) | None -> None
+
+let attr_str attrs k =
+  match List.assoc_opt k attrs with
+  | Some (Trace.Str s) -> Some s
+  | Some (Trace.Bool _ | Trace.Int _ | Trace.Float _) | None -> None
+
+(* ---- span accounting --------------------------------------------------- *)
+
+type span_agg = {
+  mutable sa_count : int;
+  mutable sa_time : float;  (* summed simulated-time extent *)
+  sa_sums : (string, float) Hashtbl.t;  (* numeric attr sums (begin+end) *)
+}
+
+let span_table evs =
+  (* begin time per open span id *)
+  let begins : (int, float) Hashtbl.t = Hashtbl.create 64 in
+  let aggs : (string, span_agg) Hashtbl.t = Hashtbl.create 16 in
+  let agg name =
+    match Hashtbl.find_opt aggs name with
+    | Some a -> a
+    | None ->
+      let a = { sa_count = 0; sa_time = 0.0; sa_sums = Hashtbl.create 8 } in
+      Hashtbl.replace aggs name a;
+      a
+  in
+  let add_attrs a attrs =
+    List.iter
+      (fun (k, _) ->
+        match attr_float attrs k with
+        | None -> ()
+        | Some v ->
+          let cur =
+            Option.value ~default:0.0 (Hashtbl.find_opt a.sa_sums k)
+          in
+          Hashtbl.replace a.sa_sums k (cur +. v))
+      attrs
+  in
+  List.iter
+    (fun (e : Trace.ev) ->
+      match e.Trace.kind with
+      | Trace.Begin ->
+        Hashtbl.replace begins e.Trace.span e.Trace.time;
+        let a = agg e.Trace.name in
+        a.sa_count <- a.sa_count + 1;
+        add_attrs a e.Trace.attrs
+      | Trace.End ->
+        let a = agg e.Trace.name in
+        (match Hashtbl.find_opt begins e.Trace.span with
+        | Some t0 -> a.sa_time <- a.sa_time +. (e.Trace.time -. t0)
+        | None -> ());
+        add_attrs a e.Trace.attrs
+      | Trace.Point -> ())
+    evs;
+  let rows =
+    Hashtbl.fold
+      (fun name a acc ->
+        let detail_keys =
+          List.sort String.compare
+            (Hashtbl.fold (fun k _ acc -> k :: acc) a.sa_sums [])
+        in
+        let details =
+          String.concat " "
+            (List.map
+               (fun k ->
+                 let v = Option.value ~default:0.0 (Hashtbl.find_opt a.sa_sums k) in
+                 if Float.is_integer v && Float.abs v < 1e15 then
+                   Printf.sprintf "%s=%.0f" k v
+                 else Printf.sprintf "%s=%.4g" k v)
+               detail_keys)
+        in
+        (name, a.sa_count, a.sa_time, details) :: acc)
+      aggs []
+  in
+  List.sort (fun (a, _, _, _) (b, _, _, _) -> String.compare a b) rows
+
+(* ---- point-event accounting ------------------------------------------- *)
+
+let point_counts evs =
+  let counts : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (e : Trace.ev) ->
+      match e.Trace.kind with
+      | Trace.Point ->
+        let cur = Option.value ~default:0 (Hashtbl.find_opt counts e.Trace.name) in
+        Hashtbl.replace counts e.Trace.name (cur + 1)
+      | Trace.Begin | Trace.End -> ())
+    evs;
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [])
+
+(* ---- hop-cost reconstruction ------------------------------------------ *)
+
+let span_modes evs =
+  (* span id -> "mode" attribute of its begin event, when present *)
+  let modes : (int, string) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Trace.ev) ->
+      match e.Trace.kind with
+      | Trace.Begin -> (
+        match attr_str e.Trace.attrs "mode" with
+        | Some m -> Hashtbl.replace modes e.Trace.span m
+        | None -> ())
+      | Trace.End | Trace.Point -> ())
+    evs;
+  modes
+
+let hop_histograms evs =
+  let modes = span_modes evs in
+  let hists : (string, Histogram.t) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun (e : Trace.ev) ->
+      match e.Trace.kind with
+      | Trace.Point when String.equal e.Trace.name "vst/transfer" -> (
+        match (attr_int e.Trace.attrs "hops", attr_float e.Trace.attrs "load") with
+        | Some hops, Some load ->
+          let mode =
+            Option.value ~default:"all" (Hashtbl.find_opt modes e.Trace.span)
+          in
+          let h =
+            match Hashtbl.find_opt hists mode with
+            | Some h -> h
+            | None ->
+              let h = Histogram.create () in
+              Hashtbl.replace hists mode h;
+              h
+          in
+          Histogram.add h ~bin:hops ~weight:load
+        | _ -> ())
+      | Trace.Point | Trace.Begin | Trace.End -> ())
+    evs;
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) hists [])
+
+(* ---- rendering --------------------------------------------------------- *)
+
+let render_hops named =
+  let buf = Buffer.create 2048 in
+  let max_bin =
+    List.fold_left (fun m (_, h) -> Int.max m (Histogram.max_bin h)) (-1) named
+  in
+  if max_bin >= 0 then begin
+    let rows =
+      List.filter_map
+        (fun b ->
+          if List.for_all (fun (_, h) -> Histogram.weight_at h b = 0.0) named
+          then None
+          else
+            Some
+              (string_of_int b
+              :: List.concat_map
+                   (fun (_, h) ->
+                     [
+                       Report.percent_cell (Histogram.fraction_at h b);
+                       Report.percent_cell (Histogram.cumulative_fraction h b);
+                     ])
+                   named))
+        (List.init (max_bin + 1) (fun b -> b))
+    in
+    let header =
+      "hops"
+      :: List.concat_map (fun (m, _) -> [ m ^ " %"; m ^ " CDF" ]) named
+    in
+    Buffer.add_string buf
+      (Report.table
+         ~title:
+           "Hop-cost of transferred load, reconstructed from vst/transfer \
+            events (grouped by the enclosing span's mode)"
+         ~header rows);
+    Buffer.add_char buf '\n';
+    let cdf_series h =
+      List.map (fun (b, f) -> (float_of_int b, f)) (Histogram.to_cdf h)
+    in
+    Buffer.add_string buf
+      (Report.ascii_plot ~title:"CDF of moved load vs transfer distance"
+         ~x_label:"hops" ~y_label:"CDF"
+         ~series:(List.map (fun (m, h) -> (m, cdf_series h)) named)
+         ())
+  end;
+  Buffer.contents buf
+
+let render evs =
+  let buf = Buffer.create 4096 in
+  let spans = span_table evs in
+  Buffer.add_string buf
+    (Printf.sprintf "trace: %d events, %d span(s)\n\n" (List.length evs)
+       (List.length spans));
+  if spans <> [] then begin
+    Buffer.add_string buf
+      (Report.table ~title:"Per-phase spans (simulated time; attrs summed)"
+         ~header:[ "span"; "count"; "sim-time"; "totals" ]
+         (List.map
+            (fun (name, count, time, details) ->
+              [ name; string_of_int count; Report.float_cell time; details ])
+            spans));
+    Buffer.add_char buf '\n'
+  end;
+  let points = point_counts evs in
+  if points <> [] then begin
+    Buffer.add_string buf
+      (Report.table ~title:"Point events" ~header:[ "event"; "count" ]
+         (List.map (fun (name, n) -> [ name; string_of_int n ]) points));
+    Buffer.add_char buf '\n'
+  end;
+  (match hop_histograms evs with
+  | [] -> ()
+  | named -> Buffer.add_string buf (render_hops named));
+  Buffer.contents buf

@@ -1,0 +1,26 @@
+module Histogram = P2plb_metrics.Histogram
+
+(** Rendering a recorded (or re-loaded) trace as per-phase tables and
+    a hop-cost plot — the [lb_sim trace-summary FILE] backend.
+
+    Everything here is derived from the {!Trace.ev} list alone, which
+    is the point: the paper's Figure 7/8 histogram (moved load by
+    underlay hop distance) is reconstructed from ["vst/transfer"]
+    point events, grouped by the ["mode"] attribute of the enclosing
+    ["phase/vst"] span, without re-running the experiment. *)
+
+val span_table : Trace.ev list -> (string * int * float * string) list
+(** Per span name, sorted: (name, count, summed simulated-time extent,
+    rendered sums of every numeric attribute). *)
+
+val point_counts : Trace.ev list -> (string * int) list
+(** Occurrences per point-event name, sorted. *)
+
+val hop_histograms : Trace.ev list -> (string * Histogram.t) list
+(** Load-weighted hop histograms rebuilt from ["vst/transfer"] events
+    ([hops] bin, [load] weight), one per enclosing-span ["mode"]
+    (["all"] when untagged), sorted by mode. *)
+
+val render : Trace.ev list -> string
+(** The full summary: span table, point-event table, hop-cost
+    distribution table and ASCII CDF plot. *)

@@ -1,0 +1,91 @@
+(** Deterministic structured tracing for load-balancing rounds.
+
+    A trace is an append-only sequence of {e spans} (begin/end pairs)
+    and {e point events}, each stamped with {b simulated} time — the
+    engine clock when one is attached, or a manually advanced logical
+    clock otherwise — never the wall clock (p2plint rule R3).  Events
+    carry a sequence number, so the in-memory form is totally ordered
+    and the JSONL sink is byte-identical across runs with the same
+    seed: [digest] is a replay check in one call.
+
+    Span naming convention (see DESIGN.md §8): phase spans are
+    ["phase/<name>"] (e.g. ["phase/vsa"]), point events are
+    ["<subsystem>/<event>"] (e.g. ["vst/transfer"], ["fault/drop"],
+    ["kt/replant"]).  Point events are attributed to the innermost
+    open span, which is how {!Summary} groups per-transfer hop costs
+    by the round mode recorded on the enclosing ["phase/vst"] span. *)
+
+type value = Bool of bool | Int of int | Float of float | Str of string
+
+type kind = Point | Begin | End
+
+type ev = {
+  time : float;  (** simulated time at recording *)
+  seq : int;  (** recording order, 0-based, gap-free *)
+  kind : kind;
+  name : string;
+  span : int;
+      (** [Begin]/[End]: the span's own id; [Point]: the id of the
+          innermost open span, or [-1] outside any span *)
+  attrs : (string * value) list;  (** in recording order *)
+}
+
+type span
+(** A handle for an open span, to be passed to {!end_span}. *)
+
+type t
+
+val create : unit -> t
+(** A fresh trace with a manual clock at time 0. *)
+
+val set_clock : t -> (unit -> float) -> unit
+(** Installs a clock — always the simulation engine's [Engine.now],
+    never a wall-clock read.  Replaces manual time. *)
+
+val set_time : t -> float -> unit
+(** Advances the manual logical clock (engine-less runs advance it at
+    the controller's phase barriers).  Uninstalls any clock. *)
+
+val now : t -> float
+
+val point : t -> ?attrs:(string * value) list -> string -> unit
+
+val begin_span : t -> ?attrs:(string * value) list -> string -> span
+
+val end_span : t -> ?attrs:(string * value) list -> span -> unit
+(** Closing a span that is not the innermost open one is allowed (the
+    stack entry is removed wherever it sits). *)
+
+val with_span : t -> ?attrs:(string * value) list -> string -> (unit -> 'a) -> 'a
+(** Braces [f] in a span; the span is closed (without end attributes)
+    even if [f] raises. *)
+
+val events : t -> ev list
+(** The stable in-memory form: all events in recording order. *)
+
+val n_events : t -> int
+
+(** {1 JSONL sink} *)
+
+val float_to_string : float -> string
+(** Shortest decimal spelling that round-trips the double — the
+    canonical float format shared by the trace sink and the registry
+    dump. *)
+
+val to_jsonl : t -> string
+(** One JSON object per event:
+    [{"t":0.2,"seq":5,"kind":"point","name":"vst/transfer","span":3,
+      "attrs":{"hops":2,"load":1.5}}].
+    Floats use the shortest round-tripping decimal form, so the output
+    is byte-stable and {!parse_jsonl} recovers exact values. *)
+
+val write_jsonl : t -> path:string -> unit
+
+val digest : t -> string
+(** Hex digest of {!to_jsonl} — the replay-equality check. *)
+
+val parse_jsonl : string -> (ev list, string) result
+(** Inverse of {!to_jsonl} (empty lines skipped). *)
+
+val load_jsonl : string -> (ev list, string) result
+(** {!parse_jsonl} on a file's contents. *)

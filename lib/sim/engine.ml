@@ -12,6 +12,8 @@ and t = {
   mutable heap : event array;
   mutable size : int;
   mutable next_seq : int;
+  mutable processed : int;
+  mutable peak_size : int;
 }
 
 (* Placeholder for empty heap slots: popped events must not linger in
@@ -25,6 +27,8 @@ let create () =
     heap = Array.make 64 dummy_event;
     size = 0;
     next_seq = 0;
+    processed = 0;
+    peak_size = 0;
   }
 
 let now t = t.clock
@@ -39,6 +43,7 @@ let push t ev =
   end;
   t.heap.(t.size) <- ev;
   t.size <- t.size + 1;
+  if t.size > t.peak_size then t.peak_size <- t.size;
   let i = ref (t.size - 1) in
   while !i > 0 && before t.heap.(!i) t.heap.((!i - 1) / 2) do
     let p = (!i - 1) / 2 in
@@ -111,10 +116,30 @@ let step t =
     let ev = pop t in
     if not ev.h.cancelled then begin
       t.clock <- Float.max t.clock ev.time;
+      t.processed <- t.processed + 1;
       ev.action t
     end;
     true
   end
+
+type stats = {
+  processed : int;
+  pending : int;
+  peak_pending : int;
+  cancelled_pending : int;
+}
+
+let stats t =
+  let cancelled = ref 0 in
+  for i = 0 to t.size - 1 do
+    if t.heap.(i).h.cancelled then incr cancelled
+  done;
+  {
+    processed = t.processed;
+    pending = t.size;
+    peak_pending = t.peak_size;
+    cancelled_pending = !cancelled;
+  }
 
 let run_until t ~time =
   let continue = ref true in

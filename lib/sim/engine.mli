@@ -41,6 +41,18 @@ val run_until : t -> time:float -> unit
 val step : t -> bool
 (** Processes the single next event; [false] when the queue is empty. *)
 
+type stats = {
+  processed : int;  (** events whose action has fired (cancelled ones excluded) *)
+  pending : int;  (** events currently queued, cancelled or not *)
+  peak_pending : int;  (** high-water mark of the event queue *)
+  cancelled_pending : int;  (** queued events already cancelled (lazy discard) *)
+}
+
+val stats : t -> stats
+(** A snapshot of the engine's lifetime counters, for profiling hooks
+    and the observability layer.  O(pending) — it scans the queue to
+    count cancelled-but-still-queued events. *)
+
 val run : ?max_events:int -> t -> int
 (** Processes events until the queue drains (or [max_events] is hit,
     protecting against self-perpetuating periodics); returns the

@@ -40,6 +40,7 @@ type t = {
   mutable drops : int;
   mutable crashes : int;
   mutable backoff_time : float;
+  mutable obs : P2plb_obs.Obs.t option;
 }
 
 let create ~seed config =
@@ -64,7 +65,19 @@ let create ~seed config =
     drops = 0;
     crashes = 0;
     backoff_time = 0.0;
+    obs = None;
   }
+
+let attach_obs t obs = t.obs <- Some obs
+
+let obs_event t name attrs =
+  match t.obs with
+  | None -> ()
+  | Some o ->
+    P2plb_obs.Trace.point (P2plb_obs.Obs.trace o) name ~attrs;
+    P2plb_obs.Registry.add
+      (P2plb_obs.Registry.counter (P2plb_obs.Obs.metrics o) name)
+      1
 
 let config t = t.config
 
@@ -79,6 +92,7 @@ let deliver t =
   if t.config.message_loss <= 0.0 then true
   else if Prng.unit_float t.loss_rng < t.config.message_loss then begin
     t.drops <- t.drops + 1;
+    obs_event t "fault/drop" [ ("cause", P2plb_obs.Trace.Str "loss") ];
     false
   end
   else true
@@ -89,11 +103,18 @@ let send t =
     let rec attempt n timeout =
       if deliver t then begin
         t.retries <- t.retries + (n - 1);
+        if n > 1 then
+          obs_event t "fault/retry" [ ("attempts", P2plb_obs.Trace.Int n) ];
         Delivered n
       end
       else if n >= t.config.max_attempts then begin
         t.retries <- t.retries + (n - 1);
         t.timeouts <- t.timeouts + 1;
+        obs_event t "fault/timeout"
+          [
+            ("cause", P2plb_obs.Trace.Str "max_attempts");
+            ("attempts", P2plb_obs.Trace.Int n);
+          ];
         Lost
       end
       else begin
@@ -116,6 +137,11 @@ let arm t engine ~horizon ~population ~crash =
     ignore
       (Engine.schedule engine ~delay (fun _ ->
            t.crashes <- t.crashes + 1;
+           obs_event t "fault/crash"
+             [
+               ("cause", P2plb_obs.Trace.Str "plan");
+               ("rank", P2plb_obs.Trace.Float rank);
+             ];
            crash ~rank))
   done
 

@@ -52,6 +52,13 @@ val config : t -> config
 val enabled : t -> bool
 (** Whether the plan can inject anything at all. *)
 
+val attach_obs : t -> P2plb_obs.Obs.t -> unit
+(** Routes injected faults to an observability bundle: every drop,
+    retry, timeout and crash emits a cause-tagged trace point
+    (["fault/drop"], ["fault/retry"], ["fault/timeout"],
+    ["fault/crash"]) and bumps the counter of the same name.  Without
+    an attachment the plan stays silent (and allocation-free). *)
+
 (** {1 Message loss and reliable send} *)
 
 type send_outcome =

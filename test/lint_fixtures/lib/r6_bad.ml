@@ -1,0 +1,7 @@
+(* R6 positive fixture: this file lives under a [lib/] path, so every
+   direct stdout/stderr write below must be flagged. *)
+
+let announce name = print_string ("balancing " ^ name)
+let debug_round r = Printf.printf "round %d\n" r
+let warn_drop cause = prerr_endline ("dropped: " ^ cause)
+let show_load l = Stdlib.Format.eprintf "load=%f@." l

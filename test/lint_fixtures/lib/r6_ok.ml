@@ -1,0 +1,13 @@
+(* R6 clean fixture: building strings and handing them back (or to a
+   buffer/formatter the caller owns) is the sanctioned library idiom —
+   nothing here touches stdout/stderr. *)
+
+let announce name = "balancing " ^ name
+let debug_round r = Printf.sprintf "round %d" r
+
+let show_load fmt l = Format.fprintf fmt "load=%f@." l
+
+let render rows =
+  let buf = Buffer.create 64 in
+  List.iter (fun r -> Buffer.add_string buf (r ^ "\n")) rows;
+  Buffer.contents buf

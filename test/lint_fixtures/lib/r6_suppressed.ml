@@ -1,0 +1,9 @@
+(* R6 suppression fixture: a reasoned allow-r6 on the same or the
+   preceding line silences the rule. *)
+
+let banner () =
+  (* p2plint: allow-r6 — interactive REPL helper, stdout is the contract *)
+  print_endline "p2plb simulator"
+
+let progress pct =
+  Printf.eprintf "%3d%%\r" pct (* p2plint: allow-r6 — progress meter is stderr-only by design *)

@@ -1,0 +1,7 @@
+(* R6 scope fixture: this file is NOT under a [lib/] path, so the same
+   writes that trip r6_bad.ml are allowed here — executables and tests
+   own their channels. *)
+
+let announce name = print_string ("balancing " ^ name)
+let debug_round r = Printf.printf "round %d\n" r
+let warn_drop cause = prerr_endline ("dropped: " ^ cause)

@@ -7,6 +7,11 @@
 
 module E = P2plb.Experiments
 module Csv = P2plb_metrics.Csv
+module Obs = P2plb_obs.Obs
+module Trace = P2plb_obs.Trace
+module Registry = P2plb_obs.Registry
+module Summary = P2plb_obs.Summary
+module Histogram = P2plb_metrics.Histogram
 
 let check = Alcotest.check
 
@@ -43,6 +48,64 @@ let test_balance_round_twice () =
     (Digest.to_hex (Digest.string (run ())))
     (Digest.to_hex (Digest.string (run ())))
 
+(* ---- observability ------------------------------------------------------ *)
+
+(* The obs bundle is part of the determinism contract: the JSONL trace
+   and the registry dump must be byte-identical across same-seed runs,
+   observation must not perturb the run it watches, and the Fig. 7
+   histogram must be reconstructible from the trace alone. *)
+
+let observed_fig7 seed =
+  let obs = Obs.create () in
+  let r = E.fig7 ~obs ~seed ~graphs:1 ~n_nodes:128 () in
+  (r, obs)
+
+let test_obs_digests_twice () =
+  let _, o1 = observed_fig7 42 in
+  let _, o2 = observed_fig7 42 in
+  check Alcotest.string "trace digests equal"
+    (Trace.digest (Obs.trace o1))
+    (Trace.digest (Obs.trace o2));
+  check Alcotest.string "metrics digests equal"
+    (Registry.digest (Obs.metrics o1))
+    (Registry.digest (Obs.metrics o2));
+  let _, o3 = observed_fig7 43 in
+  check Alcotest.bool "different seeds trace differently" true
+    (not
+       (String.equal
+          (Trace.digest (Obs.trace o1))
+          (Trace.digest (Obs.trace o3))))
+
+let test_observation_does_not_perturb () =
+  let plain = E.fig7 ~seed:42 ~graphs:1 ~n_nodes:128 () in
+  let observed, _ = observed_fig7 42 in
+  check Alcotest.string "observed run renders identically"
+    (E.render_proximity ~title:"perturbation check" plain)
+    (E.render_proximity ~title:"perturbation check" observed)
+
+let test_trace_rebuilds_fig7_histogram () =
+  (* Fig. 7 from the trace alone: the load-weighted hop histogram the
+     summary derives from vst/transfer events must match the one the
+     experiment computed natively — exact bins, weights to summation
+     order. *)
+  let r, o = observed_fig7 42 in
+  let hists = Summary.hop_histograms (Trace.events (Obs.trace o)) in
+  match List.assoc_opt "aware" hists with
+  | None -> Alcotest.fail "trace has no aware hop histogram"
+  | Some h ->
+    check Alcotest.int "max bin" (Histogram.max_bin r.E.aware)
+      (Histogram.max_bin h);
+    check (Alcotest.float 1e-6) "total weight"
+      (Histogram.total_weight r.E.aware)
+      (Histogram.total_weight h);
+    for b = 0 to Histogram.max_bin r.E.aware do
+      check
+        (Alcotest.float 1e-6)
+        (Printf.sprintf "bin %d" b)
+        (Histogram.weight_at r.E.aware b)
+        (Histogram.weight_at h b)
+    done
+
 let () =
   Alcotest.run "determinism"
     [
@@ -53,5 +116,14 @@ let () =
             test_fig7_seed_sensitivity;
           Alcotest.test_case "fig4 byte-identical" `Quick
             test_balance_round_twice;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "obs digests byte-identical" `Quick
+            test_obs_digests_twice;
+          Alcotest.test_case "observation does not perturb" `Quick
+            test_observation_does_not_perturb;
+          Alcotest.test_case "fig7 rebuilt from trace" `Quick
+            test_trace_rebuilds_fig7_histogram;
         ] );
     ]

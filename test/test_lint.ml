@@ -64,6 +64,30 @@ let test_r4_hits () =
 let test_clean_module () =
   check Alcotest.int "clean module passes" 0 (List.length (lint "clean.ml"))
 
+(* ---- R6 ---------------------------------------------------------------- *)
+
+(* The r6_* positive/clean/suppressed fixtures sit under
+   lint_fixtures/lib/ because R6 keys off the path containing "lib/";
+   r6_outside.ml holds identical writes outside lib/ to pin the scope. *)
+
+let test_r6_hits () =
+  let vs = lint (Filename.concat "lib" "r6_bad.ml") in
+  check Alcotest.int "print/printf/prerr/Stdlib.Format all flagged" 4
+    (List.length vs);
+  check Alcotest.bool "all are R6" true (all_rule "R6" vs)
+
+let test_r6_clean () =
+  check Alcotest.int "sprintf/fprintf/Buffer pass" 0
+    (List.length (lint (Filename.concat "lib" "r6_ok.ml")))
+
+let test_r6_suppressed () =
+  check Alcotest.int "reasoned allow-r6 passes" 0
+    (List.length (lint (Filename.concat "lib" "r6_suppressed.ml")))
+
+let test_r6_outside_lib () =
+  check Alcotest.int "same writes outside lib/ pass" 0
+    (List.length (lint "r6_outside.ml"))
+
 (* ---- R5 ---------------------------------------------------------------- *)
 
 let test_r5_missing_mli () =
@@ -78,10 +102,13 @@ let test_r5_missing_mli () =
 
 (* ---- diagnostics format ------------------------------------------------ *)
 
-let diag_re = Str.regexp {|^[^:]+\.ml:[0-9]+: \[R[1-5]\] .+|}
+let diag_re = Str.regexp {|^[^:]+\.ml:[0-9]+: \[R[1-6]\] .+|}
 
 let test_diagnostic_format () =
-  let vs = lint "r1_bad.ml" @ lint "r3_bad.ml" @ lint "r4_bad.ml" in
+  let vs =
+    lint "r1_bad.ml" @ lint "r3_bad.ml" @ lint "r4_bad.ml"
+    @ lint (Filename.concat "lib" "r6_bad.ml")
+  in
   List.iter
     (fun v ->
       let line = Lint.to_string v in
@@ -124,6 +151,13 @@ let () =
           Alcotest.test_case "clean module" `Quick test_clean_module;
         ] );
       ("r5", [ Alcotest.test_case "missing mli" `Quick test_r5_missing_mli ]);
+      ( "r6",
+        [
+          Alcotest.test_case "positive hits" `Quick test_r6_hits;
+          Alcotest.test_case "clean pass" `Quick test_r6_clean;
+          Alcotest.test_case "suppressed pass" `Quick test_r6_suppressed;
+          Alcotest.test_case "outside lib/ pass" `Quick test_r6_outside_lib;
+        ] );
       ( "report",
         [
           Alcotest.test_case "file:line: [RULE] shape" `Quick

@@ -109,6 +109,20 @@ let test_histogram_merge () =
   check feq "merged bin 4" 3.0 (Histogram.weight_at m 4);
   check feq "inputs unchanged" 1.0 (Histogram.weight_at a 1)
 
+let test_histogram_percentile_bin () =
+  let h = Histogram.create () in
+  check Alcotest.int "empty histogram" (-1) (Histogram.percentile_bin h 50.0);
+  Histogram.add h ~bin:1 ~weight:1.0;
+  Histogram.add h ~bin:3 ~weight:1.0;
+  Histogram.add h ~bin:10 ~weight:2.0;
+  check Alcotest.int "p25 lands on first bin" 1 (Histogram.percentile_bin h 25.0);
+  check Alcotest.int "p50" 3 (Histogram.percentile_bin h 50.0);
+  check Alcotest.int "p99" 10 (Histogram.percentile_bin h 99.0);
+  check Alcotest.int "p100 is the max bin" 10 (Histogram.percentile_bin h 100.0);
+  Alcotest.check_raises "p outside range"
+    (Invalid_argument "Histogram.percentile_bin: p outside [0, 100]")
+    (fun () -> ignore (Histogram.percentile_bin h 101.0))
+
 let test_histogram_validation () =
   let h = Histogram.create () in
   Alcotest.check_raises "negative bin"
@@ -153,6 +167,53 @@ let test_ascii_plot_nonempty () =
 let test_ascii_plot_empty () =
   check Alcotest.string "empty plot" "(empty plot)\n"
     (Report.ascii_plot ~series:[ ("s", []) ] ())
+
+(* plot edge cases: no series at all, a single point (both axis ranges
+   degenerate), and a flat series (y range degenerate) must all render
+   without division by zero or out-of-grid writes *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.equal (String.sub s i m) sub || go (i + 1)) in
+  m = 0 || go 0
+
+let grid_rows p =
+  String.split_on_char '\n' p
+  |> List.filter (fun l -> String.length l > 2 && String.equal (String.sub l 0 3) "  |")
+
+let test_ascii_plot_no_series () =
+  check Alcotest.string "no series" "(empty plot)\n"
+    (Report.ascii_plot ~series:[] ())
+
+let test_ascii_plot_single_point () =
+  let p = Report.ascii_plot ~series:[ ("one", [ (2.0, 3.0) ]) ] () in
+  check Alcotest.bool "y range collapses to the value" true
+    (contains p "y: [3 .. 3]");
+  check Alcotest.bool "x range collapses to the value" true
+    (contains p "x: [2 .. 2]");
+  let starred =
+    List.filter (fun l -> String.exists (fun c -> c = '*') l) (grid_rows p)
+  in
+  check Alcotest.int "exactly one grid row carries the glyph" 1
+    (List.length starred)
+
+let test_ascii_plot_flat_y () =
+  let p =
+    Report.ascii_plot
+      ~series:[ ("flat", [ (0.0, 1.0); (1.0, 1.0); (2.0, 1.0) ]) ]
+      ()
+  in
+  check Alcotest.bool "degenerate y range" true (contains p "y: [1 .. 1]");
+  let rows = grid_rows p in
+  let starred = List.filter (fun l -> String.exists (fun c -> c = '*') l) rows in
+  (* all points share the one y value, so they land on a single row *)
+  check Alcotest.int "one row holds every point" 1 (List.length starred);
+  match starred with
+  | [ row ] ->
+    let stars = ref 0 in
+    String.iter (fun c -> if c = '*' then incr stars) row;
+    check Alcotest.int "all three x positions plotted" 3 !stars
+  | _ -> Alcotest.fail "expected one starred row"
 
 (* ---- properties --------------------------------------------------------- *)
 
@@ -207,6 +268,8 @@ let () =
           Alcotest.test_case "basics" `Quick test_histogram_basic;
           Alcotest.test_case "cdf" `Quick test_histogram_cdf;
           Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "percentile bin" `Quick
+            test_histogram_percentile_bin;
           Alcotest.test_case "validation" `Quick test_histogram_validation;
         ] );
       ( "report",
@@ -216,6 +279,10 @@ let () =
           Alcotest.test_case "cells" `Quick test_cells;
           Alcotest.test_case "plot" `Quick test_ascii_plot_nonempty;
           Alcotest.test_case "empty plot" `Quick test_ascii_plot_empty;
+          Alcotest.test_case "no series" `Quick test_ascii_plot_no_series;
+          Alcotest.test_case "single point" `Quick
+            test_ascii_plot_single_point;
+          Alcotest.test_case "flat y" `Quick test_ascii_plot_flat_y;
         ] );
       ( "properties",
         [ qtest prop_percentile_monotone; qtest prop_gini_range; qtest prop_cdf_monotone ]

@@ -1,0 +1,317 @@
+(* lib/obs unit tests: trace event recording (span stack, point
+   attribution, clocks), the JSONL sink and its inverse, digest
+   stability, the metrics registry, and the trace-summary tables. *)
+
+module Trace = P2plb_obs.Trace
+module Registry = P2plb_obs.Registry
+module Summary = P2plb_obs.Summary
+module Obs = P2plb_obs.Obs
+module Histogram = P2plb_metrics.Histogram
+
+let check = Alcotest.check
+let feq = Alcotest.float 1e-12
+
+(* ---- event equality helpers -------------------------------------------- *)
+
+let value_eq a b =
+  match (a, b) with
+  | Trace.Bool x, Trace.Bool y -> Bool.equal x y
+  | Trace.Int x, Trace.Int y -> Int.equal x y
+  | Trace.Float x, Trace.Float y -> Float.equal x y
+  | Trace.Str x, Trace.Str y -> String.equal x y
+  | _ -> false
+
+let kind_eq a b =
+  match (a, b) with
+  | Trace.Point, Trace.Point | Trace.Begin, Trace.Begin | Trace.End, Trace.End
+    ->
+    true
+  | _ -> false
+
+let ev_eq (a : Trace.ev) (b : Trace.ev) =
+  Float.equal a.Trace.time b.Trace.time
+  && Int.equal a.Trace.seq b.Trace.seq
+  && kind_eq a.Trace.kind b.Trace.kind
+  && String.equal a.Trace.name b.Trace.name
+  && Int.equal a.Trace.span b.Trace.span
+  && List.length a.Trace.attrs = List.length b.Trace.attrs
+  && List.for_all2
+       (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && value_eq v1 v2)
+       a.Trace.attrs b.Trace.attrs
+
+(* ---- trace recording ---------------------------------------------------- *)
+
+let test_span_stack_attribution () =
+  let t = Trace.create () in
+  Trace.point t "orphan";
+  let outer = Trace.begin_span t "phase/outer" in
+  Trace.point t "in_outer";
+  let inner = Trace.begin_span t "phase/inner" in
+  Trace.point t "in_inner";
+  Trace.end_span t inner;
+  Trace.point t "back_in_outer";
+  Trace.end_span t outer ~attrs:[ ("n", Trace.Int 2) ];
+  let evs = Trace.events t in
+  check Alcotest.int "eight events" 8 (List.length evs);
+  check Alcotest.int "n_events agrees" 8 (Trace.n_events t);
+  List.iteri
+    (fun i ev -> check Alcotest.int "seq gap-free" i ev.Trace.seq)
+    evs;
+  let span_of name =
+    (List.find (fun ev -> String.equal ev.Trace.name name) evs).Trace.span
+  in
+  check Alcotest.int "point outside any span" (-1) (span_of "orphan");
+  check Alcotest.int "outer span id" 0 (span_of "phase/outer");
+  check Alcotest.int "attributed to outer" 0 (span_of "in_outer");
+  check Alcotest.int "attributed to inner" 1 (span_of "in_inner");
+  check Alcotest.int "inner close pops the stack" 0 (span_of "back_in_outer")
+
+let test_with_span_closes_on_raise () =
+  let t = Trace.create () in
+  (try Trace.with_span t "phase/boom" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Trace.point t "after";
+  let evs = Trace.events t in
+  check Alcotest.int "begin + end + point" 3 (List.length evs);
+  let last = List.nth evs 2 in
+  check Alcotest.int "span closed despite the raise" (-1) last.Trace.span
+
+let test_clocks () =
+  let t = Trace.create () in
+  check feq "manual clock starts at 0" 0.0 (Trace.now t);
+  Trace.set_time t 2.5;
+  check feq "set_time advances" 2.5 (Trace.now t);
+  Trace.point t "p1";
+  let cur = ref 7.0 in
+  Trace.set_clock t (fun () -> !cur);
+  check feq "installed clock wins" 7.0 (Trace.now t);
+  cur := 8.25;
+  Trace.point t "p2";
+  Trace.set_time t 1.0;
+  check feq "set_time uninstalls the clock" 1.0 (Trace.now t);
+  let times = List.map (fun ev -> ev.Trace.time) (Trace.events t) in
+  check Alcotest.(list (float 1e-12)) "stamps" [ 2.5; 8.25 ] times
+
+(* ---- JSONL sink --------------------------------------------------------- *)
+
+let build_mixed_trace () =
+  let t = Trace.create () in
+  Trace.set_time t 0.2;
+  let sp =
+    Trace.begin_span t "phase/vst" ~attrs:[ ("mode", Trace.Str "aware") ]
+  in
+  Trace.point t "vst/transfer"
+    ~attrs:
+      [
+        ("hops", Trace.Int 3);
+        ("load", Trace.Float 0.1);
+        ("ok", Trace.Bool true);
+        ("note", Trace.Str "quote\" slash\\ nl\n tab\t");
+      ];
+  Trace.point t "vst/skip"
+    ~attrs:[ ("cause", Trace.Str "vs_gone"); ("w", Trace.Float (1.0 /. 3.0)) ];
+  Trace.set_time t 0.7;
+  Trace.end_span t sp ~attrs:[ ("transfers", Trace.Int 1) ];
+  t
+
+let test_jsonl_round_trip () =
+  let t = build_mixed_trace () in
+  match Trace.parse_jsonl (Trace.to_jsonl t) with
+  | Error e -> Alcotest.fail ("parse_jsonl failed: " ^ e)
+  | Ok evs ->
+    let orig = Trace.events t in
+    check Alcotest.int "same count" (List.length orig) (List.length evs);
+    List.iter2
+      (fun a b ->
+        check Alcotest.bool
+          (Printf.sprintf "event %d round-trips" a.Trace.seq)
+          true (ev_eq a b))
+      orig evs
+
+let test_parse_rejects_garbage () =
+  (match Trace.parse_jsonl "not json at all" with
+  | Ok _ -> Alcotest.fail "garbage accepted"
+  | Error _ -> ());
+  match Trace.parse_jsonl "" with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "empty input should give no events"
+  | Error e -> Alcotest.fail ("empty input rejected: " ^ e)
+
+let test_digest_stability () =
+  let d1 = Trace.digest (build_mixed_trace ()) in
+  let d2 = Trace.digest (build_mixed_trace ()) in
+  check Alcotest.string "same build, same digest" d1 d2;
+  let t = build_mixed_trace () in
+  Trace.point t "extra";
+  check Alcotest.bool "extra event changes the digest" true
+    (not (String.equal d1 (Trace.digest t)))
+
+let test_float_to_string_round_trips () =
+  List.iter
+    (fun x ->
+      let s = Trace.float_to_string x in
+      check feq (Printf.sprintf "%s round-trips" s) x (float_of_string s))
+    [ 0.1; 1.0 /. 3.0; -1e-3; 6.02e23; 0.0; 42.0 ]
+
+(* ---- registry ----------------------------------------------------------- *)
+
+let test_registry_counters_gauges () =
+  let r = Registry.create () in
+  let c = Registry.counter r "fault/drop" in
+  Registry.add c 2;
+  Registry.add (Registry.counter r "fault/drop") 3;
+  check Alcotest.int "get-or-create shares the series" 5 (Registry.count c);
+  check
+    Alcotest.(option int)
+    "find_counter" (Some 5)
+    (Registry.find_counter r "fault/drop");
+  check Alcotest.(option int) "absent" None (Registry.find_counter r "nope");
+  let g = Registry.gauge r "engine/peak_pending" in
+  Registry.set g 2.0;
+  Registry.accum g 1.5;
+  check feq "set then accum" 3.5 (Registry.value g);
+  Registry.peak g 1.0;
+  check feq "peak keeps the max" 3.5 (Registry.value g);
+  Registry.peak g 9.0;
+  check feq "peak raises" 9.0 (Registry.value g);
+  let h = Registry.histogram r "vst/hop_cost" in
+  Histogram.add h ~bin:2 ~weight:1.5;
+  match Registry.find_histogram r "vst/hop_cost" with
+  | None -> Alcotest.fail "histogram lost"
+  | Some h' -> check feq "shared histogram" 1.5 (Histogram.weight_at h' 2)
+
+let test_registry_dump_sorted_and_stable () =
+  let build flip =
+    let r = Registry.create () in
+    let fill_a () = Registry.add (Registry.counter r "z/c") 3 in
+    let fill_b () = Registry.set (Registry.gauge r "a/g") 1.5 in
+    if flip then (fill_a (); fill_b ()) else (fill_b (); fill_a ());
+    Histogram.add (Registry.histogram r "m/h") ~bin:4 ~weight:2.0;
+    r
+  in
+  let r1 = build false and r2 = build true in
+  check Alcotest.string "creation order does not leak into the dump"
+    (Registry.digest r1) (Registry.digest r2);
+  let names = List.map fst (Registry.rows r1) in
+  check
+    Alcotest.(list string)
+    "rows sorted by name" (List.sort String.compare names) names
+
+(* ---- summary ------------------------------------------------------------ *)
+
+let synthetic_vst_trace () =
+  let t = Trace.create () in
+  Trace.set_time t 0.0;
+  let sp =
+    Trace.begin_span t "phase/vst" ~attrs:[ ("mode", Trace.Str "aware") ]
+  in
+  Trace.point t "vst/transfer"
+    ~attrs:[ ("hops", Trace.Int 2); ("load", Trace.Float 1.5) ];
+  Trace.point t "vst/transfer"
+    ~attrs:[ ("hops", Trace.Int 2); ("load", Trace.Float 0.5) ];
+  Trace.set_time t 1.0;
+  Trace.end_span t sp;
+  let sp =
+    Trace.begin_span t "phase/vst" ~attrs:[ ("mode", Trace.Str "ignorant") ]
+  in
+  Trace.point t "vst/transfer"
+    ~attrs:[ ("hops", Trace.Int 5); ("load", Trace.Float 2.0) ];
+  Trace.set_time t 2.0;
+  Trace.end_span t sp;
+  Trace.events t
+
+let test_summary_tables () =
+  let evs = synthetic_vst_trace () in
+  (match Summary.span_table evs with
+  | [ (name, count, extent, _) ] ->
+    check Alcotest.string "span name" "phase/vst" name;
+    check Alcotest.int "two vst phases" 2 count;
+    check feq "summed extent" 2.0 extent
+  | rows ->
+    Alcotest.fail (Printf.sprintf "expected one span row, got %d"
+                     (List.length rows)));
+  check
+    Alcotest.(list (pair string int))
+    "point counts"
+    [ ("vst/transfer", 3) ]
+    (Summary.point_counts evs)
+
+let test_summary_hop_histograms () =
+  let evs = synthetic_vst_trace () in
+  let hists = Summary.hop_histograms evs in
+  check
+    Alcotest.(list string)
+    "one histogram per mode, sorted" [ "aware"; "ignorant" ]
+    (List.map fst hists);
+  let aware = List.assoc "aware" hists
+  and ignorant = List.assoc "ignorant" hists in
+  check feq "aware load at 2 hops" 2.0 (Histogram.weight_at aware 2);
+  check feq "aware total" 2.0 (Histogram.total_weight aware);
+  check feq "ignorant load at 5 hops" 2.0 (Histogram.weight_at ignorant 5);
+  check Alcotest.int "ignorant max bin" 5 (Histogram.max_bin ignorant)
+
+let test_summary_render_mentions_everything () =
+  let out = Summary.render (synthetic_vst_trace ()) in
+  let contains sub =
+    let n = String.length out and m = String.length sub in
+    let rec go i =
+      i + m <= n && (String.equal (String.sub out i m) sub || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun sub ->
+      check Alcotest.bool (Printf.sprintf "render mentions %S" sub) true
+        (contains sub))
+    [ "phase/vst"; "vst/transfer"; "aware"; "ignorant" ]
+
+(* ---- bundle ------------------------------------------------------------- *)
+
+let test_obs_bundle () =
+  let o = Obs.create () in
+  Trace.point (Obs.trace o) "x";
+  Registry.add (Registry.counter (Obs.metrics o) "c") 1;
+  check Alcotest.int "trace reachable" 1 (Trace.n_events (Obs.trace o));
+  check
+    Alcotest.(option int)
+    "registry reachable" (Some 1)
+    (Registry.find_counter (Obs.metrics o) "c")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "span stack attribution" `Quick
+            test_span_stack_attribution;
+          Alcotest.test_case "with_span on raise" `Quick
+            test_with_span_closes_on_raise;
+          Alcotest.test_case "clocks" `Quick test_clocks;
+        ] );
+      ( "jsonl",
+        [
+          Alcotest.test_case "round trip" `Quick test_jsonl_round_trip;
+          Alcotest.test_case "garbage rejected" `Quick
+            test_parse_rejects_garbage;
+          Alcotest.test_case "digest stability" `Quick test_digest_stability;
+          Alcotest.test_case "float spelling round-trips" `Quick
+            test_float_to_string_round_trips;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "counters and gauges" `Quick
+            test_registry_counters_gauges;
+          Alcotest.test_case "dump sorted and stable" `Quick
+            test_registry_dump_sorted_and_stable;
+        ] );
+      ( "summary",
+        [
+          Alcotest.test_case "span and point tables" `Quick
+            test_summary_tables;
+          Alcotest.test_case "hop histograms by mode" `Quick
+            test_summary_hop_histograms;
+          Alcotest.test_case "render" `Quick
+            test_summary_render_mentions_everything;
+        ] );
+      ("bundle", [ Alcotest.test_case "obs bundle" `Quick test_obs_bundle ]);
+    ]

@@ -113,6 +113,36 @@ let test_step_empty () =
   let e = Engine.create () in
   check Alcotest.bool "empty queue" false (Engine.step e)
 
+let test_stats () =
+  let e = Engine.create () in
+  let s0 = Engine.stats e in
+  check Alcotest.int "fresh processed" 0 s0.Engine.processed;
+  check Alcotest.int "fresh pending" 0 s0.Engine.pending;
+  check Alcotest.int "fresh peak" 0 s0.Engine.peak_pending;
+  check Alcotest.int "fresh cancelled" 0 s0.Engine.cancelled_pending;
+  let hs =
+    List.map
+      (fun d -> Engine.schedule e ~delay:d (fun _ -> ()))
+      [ 1.0; 2.0; 3.0; 4.0 ]
+  in
+  Engine.cancel (List.nth hs 3);
+  let s1 = Engine.stats e in
+  check Alcotest.int "peak counts every push" 4 s1.Engine.peak_pending;
+  check Alcotest.int "cancelled still pending" 4 s1.Engine.pending;
+  check Alcotest.int "one cancelled" 1 s1.Engine.cancelled_pending;
+  Engine.run_until e ~time:2.5;
+  let s2 = Engine.stats e in
+  check Alcotest.int "two fired" 2 s2.Engine.processed;
+  check Alcotest.int "two left" 2 s2.Engine.pending;
+  check Alcotest.int "cancelled not yet drained" 1 s2.Engine.cancelled_pending;
+  ignore (Engine.run e);
+  let s3 = Engine.stats e in
+  check Alcotest.int "cancelled never counts as processed" 3
+    s3.Engine.processed;
+  check Alcotest.int "drained" 0 s3.Engine.pending;
+  check Alcotest.int "peak survives the drain" 4 s3.Engine.peak_pending;
+  check Alcotest.int "no cancelled left" 0 s3.Engine.cancelled_pending
+
 let test_past_scheduling_rejected () =
   let e = Engine.create () in
   ignore (Engine.schedule e ~delay:5.0 (fun _ -> ()));
@@ -141,6 +171,7 @@ let () =
             test_periodic_self_cancel;
           Alcotest.test_case "max_events" `Quick test_run_max_events;
           Alcotest.test_case "step empty" `Quick test_step_empty;
+          Alcotest.test_case "stats" `Quick test_stats;
           Alcotest.test_case "no past scheduling" `Quick
             test_past_scheduling_rejected;
         ] );

@@ -39,6 +39,7 @@ let rule_of_keyword = function
   | "allow-unordered" -> Some "R2"
   | "allow-impure" -> Some "R3"
   | "allow-catchall" -> Some "R4"
+  | "allow-r6" -> Some "R6"
   | _ -> None
 
 let find_sub s sub =
@@ -113,6 +114,19 @@ let sort_fns =
 let hashtbl_unordered =
   [ "iter"; "fold"; "to_seq"; "to_seq_keys"; "to_seq_values" ]
 
+(* R6: libraries must not write to stdout/stderr themselves — rendered
+   output flows through [Report]/[Csv] return values and diagnostics
+   through the [Trace] sink, so that a library call never interleaves
+   stray text into a report or a JSONL trace stream. *)
+let print_fns =
+  [ "print_string"; "print_endline"; "print_newline"; "print_char";
+    "print_bytes"; "print_int"; "print_float";
+    "prerr_string"; "prerr_endline"; "prerr_newline"; "prerr_char";
+    "prerr_bytes"; "prerr_int"; "prerr_float" ]
+
+let printf_mods = [ "Printf"; "Format" ]
+let printf_fns = [ "printf"; "eprintf" ]
+
 (* A syntactically structural value: comparing one of these with a
    polymorphic operator is certainly a deep structural comparison
    (NaN-unsafe if a float hides inside, and never the typed fast
@@ -129,6 +143,7 @@ let rec is_structural e =
 type ctx = {
   file : string;
   r3_exempt : bool;  (* lib/prng/ and lib/sim/ own randomness & time *)
+  in_lib : bool;  (* R6 applies only under lib/ *)
   mutable viols : violation list;
   mutable open_depth : int;  (* inside [M.(...)] / [let open M in ...] *)
   mutable item_depth : int;  (* nesting of structure items *)
@@ -224,6 +239,35 @@ let check_lid ctx (loc : Location.t) lid ~args =
   | [ ("List" | "Array" | "ListLabels" | "ArrayLabels"); fn ]
     when List.mem fn sort_fns ->
     ctx.item_sorts <- true
+  | [ f ] when ctx.in_lib && List.mem f print_fns ->
+    if ctx.open_depth = 0 then
+      add ctx loc "R6"
+        (Printf.sprintf
+           "'%s' inside lib/: libraries must not write to stdout/stderr; \
+            return the text (Report/Csv) or emit a Trace point"
+           f)
+  | [ "Stdlib"; f ] when ctx.in_lib && List.mem f print_fns ->
+    add ctx loc "R6"
+      (Printf.sprintf
+         "'Stdlib.%s' inside lib/: libraries must not write to \
+          stdout/stderr; return the text (Report/Csv) or emit a Trace point"
+         f)
+  | [ m; f ]
+    when ctx.in_lib && List.mem m printf_mods && List.mem f printf_fns ->
+    add ctx loc "R6"
+      (Printf.sprintf
+         "'%s.%s' inside lib/: libraries must not write to stdout/stderr; \
+          build the string (sprintf/asprintf) and return it, or emit a \
+          Trace point"
+         m f)
+  | [ "Stdlib"; m; f ]
+    when ctx.in_lib && List.mem m printf_mods && List.mem f printf_fns ->
+    add ctx loc "R6"
+      (Printf.sprintf
+         "'Stdlib.%s.%s' inside lib/: libraries must not write to \
+          stdout/stderr; build the string (sprintf/asprintf) and return it, \
+          or emit a Trace point"
+         m f)
   | _ -> ()
 
 let rec pattern_catches_all p =
@@ -293,11 +337,15 @@ let r3_exempt_file path =
   in
   has "lib/prng/" || has "lib/sim/"
 
+let in_lib_file path =
+  match find_sub path "lib/" with Some _ -> true | None -> false
+
 let lint_source ~file source =
   let ctx =
     {
       file;
       r3_exempt = r3_exempt_file file;
+      in_lib = in_lib_file file;
       viols = [];
       open_depth = 0;
       item_depth = 0;

@@ -22,17 +22,25 @@
       seeded randomness and virtual time.
     - [R4] no catch-all [try ... with _ ->] exception swallowing.
     - [R5] every [.ml] in a [lib/*] library has a matching [.mli].
+    - [R6] no direct stdout/stderr writes ([print_*], [prerr_*],
+      [Printf.printf]/[Printf.eprintf], [Format.printf]/
+      [Format.eprintf], including [Stdlib.]-qualified forms) in any
+      file under [lib/].  Library output flows through [Report]/[Csv]
+      return values or the [Trace] sink, never through ambient
+      channels that would interleave with a report or a JSONL trace
+      stream.  Suppressible per use with
+      [(* p2plint: allow-r6 — <reason> *)].
 
     Suppression comments exist for every syntactic rule:
     [allow-polycompare] (R1), [allow-unordered] (R2), [allow-impure]
-    (R3), [allow-catchall] (R4); each must carry a reason after an
-    [—], [-] or [:] separator. *)
+    (R3), [allow-catchall] (R4), [allow-r6] (R6); each must carry a
+    reason after an [—], [-] or [:] separator. *)
 
 type violation = {
   v_file : string;
   v_line : int;
   v_col : int;
-  v_rule : string;  (** "R1".."R5", or "PARSE" for unparseable input *)
+  v_rule : string;  (** "R1".."R6", or "PARSE" for unparseable input *)
   v_msg : string;
 }
 
@@ -43,8 +51,9 @@ val to_string : violation -> string
 (** Renders ["file:line: [RULE] message"]. *)
 
 val lint_file : string -> violation list
-(** Rules R1–R4 (plus suppression-comment validation) on one [.ml]
-    file.  Unparseable files yield a single [PARSE] violation. *)
+(** Rules R1–R4 and R6 (plus suppression-comment validation) on one
+    [.ml] file; R6 only when the path contains [lib/].  Unparseable
+    files yield a single [PARSE] violation. *)
 
 val check_mli_dir : string -> violation list
 (** Rule R5 on one library directory: every [x.ml] directly inside it
