@@ -3,6 +3,7 @@
    Systems" (IPDPS 2004).  One subcommand per experiment. *)
 
 module E = P2plb.Experiments
+module Chaos = P2plb_chaos.Chaos
 module Obs = P2plb_obs.Obs
 module Trace = P2plb_obs.Trace
 module Registry = P2plb_obs.Registry
@@ -179,6 +180,15 @@ let do_verify obs seed n_nodes =
     (P2plb.Invariants.all ~tree ~expected_total:total s.Scenario.dht);
   print_endline "all checks passed"
 
+let do_chaos obs base_seed seeds n_nodes max_rounds replay =
+  match replay with
+  | Some seed ->
+    print_string (Chaos.replay ?obs ~n_nodes ~max_rounds ~seed ())
+  | None ->
+    let r = Chaos.soak ?obs ~n_nodes ~max_rounds ~seeds ~base_seed () in
+    print_string (Chaos.render r);
+    if Chaos.failed r then exit 1
+
 let do_overhead obs seed =
   print_string (E.render_overhead (E.overhead ?obs ~seed ()))
 
@@ -296,6 +306,9 @@ let run_churn seed n sinks = sinked (fun obs -> do_churn obs seed n) sinks
 let run_resilience seed n sinks =
   sinked (fun obs -> do_resilience obs seed n) sinks
 
+let run_chaos seed seeds n rounds replay sinks =
+  sinked (fun obs -> do_chaos obs seed seeds n rounds replay) sinks
+
 let run_verify seed n sinks = sinked (fun obs -> do_verify obs seed n) sinks
 let run_overhead seed sinks = sinked (fun obs -> do_overhead obs seed) sinks
 
@@ -368,6 +381,30 @@ let resilience_cmd =
     "Fault injection: mid-round crashes + message loss, KT repair, retries."
     Term.(const run_resilience $ seed_arg $ nodes_arg 1024 $ sink_arg)
 
+let chaos_cmd =
+  let seeds_arg =
+    let doc = "Number of consecutive seeds to soak." in
+    Arg.(value & opt int 64 & info [ "seeds" ] ~docv:"N" ~doc)
+  in
+  let rounds_arg =
+    let doc = "Maximum balancing rounds per seed." in
+    Arg.(value & opt int 3 & info [ "rounds" ] ~docv:"R" ~doc)
+  in
+  let replay_arg =
+    let doc =
+      "Replay a single seed verbosely (as named by a failing soak report) \
+       instead of soaking."
+    in
+    Arg.(value & opt (some int) None & info [ "replay" ] ~docv:"SEED" ~doc)
+  in
+  cmd "chaos"
+    "Chaos soak: per-seed randomized crash/loss/duplication/partition mixes, \
+     all invariants (incl. VS conservation) checked after every round; exits \
+     non-zero naming the first failing seed."
+    Term.(
+      const run_chaos $ seed_arg $ seeds_arg $ nodes_arg 256 $ rounds_arg
+      $ replay_arg $ sink_arg)
+
 let durability_cmd =
   cmd "durability" "Replicated-store availability and loss under churn."
     Term.(const run_durability $ seed_arg $ nodes_arg 512 $ sink_arg)
@@ -417,6 +454,7 @@ let () =
         baselines_cmd;
         churn_cmd;
         resilience_cmd;
+        chaos_cmd;
         durability_cmd;
         drift_cmd;
         overhead_cmd;

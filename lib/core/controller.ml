@@ -192,7 +192,8 @@ let run ?(config = default) ?faults ?engine ?obs (s : Scenario.t) =
       ]
   in
   let vst =
-    Vst.apply ~tree ?obs ~oracle:s.Scenario.oracle dht vsa.Vsa.assignments
+    Vst.apply ~tree ?obs ?faults ~oracle:s.Scenario.oracle dht
+      vsa.Vsa.assignments
   in
   let census_after = Classify.census ~lbi ~epsilon dht in
   (* The round occupies one unit of logical time in engine-less traced
@@ -203,12 +204,22 @@ let run ?(config = default) ?faults ?engine ?obs (s : Scenario.t) =
     P2plb_obs.Trace.set_time (P2plb_obs.Obs.trace o) (round_start +. 1.0)
   | _ -> ());
   end_phase sp ~events0:ev0
-    [
-      ("messages", P2plb_obs.Trace.Int (Ktree.messages tree - msg0));
-      ("transfers", P2plb_obs.Trace.Int vst.Vst.transfers);
-      ("skipped", P2plb_obs.Trace.Int vst.Vst.skipped);
-      ("moved_load", P2plb_obs.Trace.Float vst.Vst.moved_load);
-    ];
+    ([
+       ("messages", P2plb_obs.Trace.Int (Ktree.messages tree - msg0));
+       ("transfers", P2plb_obs.Trace.Int vst.Vst.transfers);
+       ("skipped", P2plb_obs.Trace.Int vst.Vst.skipped);
+       ("moved_load", P2plb_obs.Trace.Float vst.Vst.moved_load);
+     ]
+    (* transactional attributes appear only when the protocol ran, so
+       zero-fault (and legacy-fault) traces are unchanged *)
+    @
+    match faults with
+    | Some f when Faults.transfer_protocol f ->
+      [
+        ("aborted", P2plb_obs.Trace.Int vst.Vst.aborted);
+        ("deduped", P2plb_obs.Trace.Int vst.Vst.deduped);
+      ]
+    | _ -> []);
   (* Round-level registry series and engine profiling snapshot. *)
   (match obs with
   | None -> ()

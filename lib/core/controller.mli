@@ -15,7 +15,13 @@ module Faults = P2plb_sim.Faults
     lost messages are retried with bounded backoff, orphaned KT nodes
     are re-planted before each sweep, stale records are dropped at
     rendezvous, and unapplicable transfers are skipped per cause —
-    the round always completes on whatever nodes remain alive. *)
+    the round always completes on whatever nodes remain alive.
+
+    Plans carrying transfer-path faults (partitions, duplication,
+    mid-transfer crash windows) additionally run phase 4 as the
+    transactional protocol of {!Vst}: transfers abort per cause rather
+    than half-applying, and the ["phase/vst"] span gains [aborted] and
+    [deduped] attributes. *)
 
 type config = {
   k : int;  (** K-nary tree degree; paper evaluates 2 and 8 *)

@@ -448,6 +448,9 @@ let render_churn r =
 type resilience_row = {
   z_crash_fraction : float;
   z_message_loss : float;
+  z_duplicate_prob : float;
+  z_transfer_crash : float;
+  z_partitions : int;
   z_crashes : int;
   z_final_live : int;
   z_heavy_fraction : float;
@@ -456,23 +459,48 @@ type resilience_row = {
   z_repair_messages : int;
   z_retries : int;
   z_timeouts : int;
+  z_aborted : int;
+  z_deduped : int;
   z_rounds : int;
   z_invariants_ok : bool;
 }
 
 let resilience ?obs ?(seed = 1) ?(n_nodes = 1024) ?(max_rounds = 3) () =
   List.map
-    (fun (crash_fraction, message_loss) ->
+    (fun (crash_fraction, message_loss, duplicate_prob, transfer_crash,
+          partitions) ->
       let config = { Scenario.default with n_nodes } in
       let s = Scenario.build ~seed config in
       let dht = s.Scenario.dht in
       let total = Dht.total_load dht in
       let faults =
         P2plb_sim.Faults.create ~seed
-          (P2plb_sim.Faults.churn ~crash_fraction ~message_loss ())
+          (P2plb_sim.Faults.churn ~crash_fraction ~message_loss
+             ~duplicate_prob ~transfer_crash ~partitions ())
       in
-      let r = Multiround.run ~faults ?obs ~max_rounds s in
+      (* VS conservation is asserted per round: the snapshot advances
+         each round and the crash budget is the round's fired crashes
+         (scheduled + mid-transfer). *)
+      let snapshot = ref (Invariants.vs_snapshot dht) in
+      let crashes_seen = ref 0 in
+      let check (_ : Multiround.round) =
+        let fired =
+          P2plb_sim.Faults.crashes faults
+          + P2plb_sim.Faults.transfer_crashes faults
+        in
+        let delta = fired - !crashes_seen in
+        let res =
+          Invariants.all ~expected_total:total ~vs_before:!snapshot
+            ~crashes:delta dht
+        in
+        crashes_seen := fired;
+        snapshot := Invariants.vs_snapshot dht;
+        res
+      in
+      let r = Multiround.run ~faults ?obs ~max_rounds ~check s in
       let ok =
+        (match r.Multiround.violation with Some _ -> false | None -> true)
+        &&
         match Invariants.all ~expected_total:total dht with
         | Ok () -> true
         | Error _ -> false
@@ -480,6 +508,9 @@ let resilience ?obs ?(seed = 1) ?(n_nodes = 1024) ?(max_rounds = 3) () =
       {
         z_crash_fraction = crash_fraction;
         z_message_loss = message_loss;
+        z_duplicate_prob = duplicate_prob;
+        z_transfer_crash = transfer_crash;
+        z_partitions = partitions;
         z_crashes = r.Multiround.crashes;
         z_final_live = r.Multiround.final_live;
         z_heavy_fraction =
@@ -490,34 +521,54 @@ let resilience ?obs ?(seed = 1) ?(n_nodes = 1024) ?(max_rounds = 3) () =
         z_repair_messages = r.Multiround.total_repair_messages;
         z_retries = r.Multiround.total_retries;
         z_timeouts = r.Multiround.total_timeouts;
+        z_aborted = r.Multiround.total_aborted;
+        z_deduped = r.Multiround.total_deduped;
         z_rounds = List.length r.Multiround.rounds;
         z_invariants_ok = ok;
       })
-    [ (0.0, 0.0); (0.05, 0.01); (0.1, 0.01); (0.2, 0.02); (0.3, 0.05) ]
+    [
+      (0.0, 0.0, 0.0, 0.0, 0);
+      (0.05, 0.01, 0.0, 0.0, 0);
+      (0.1, 0.01, 0.0, 0.0, 0);
+      (0.2, 0.02, 0.0, 0.0, 0);
+      (0.3, 0.05, 0.0, 0.0, 0);
+      (* transfer-path faults: the transactional VST protocol engages *)
+      (0.1, 0.01, 0.1, 0.0, 0);
+      (0.1, 0.01, 0.0, 0.1, 0);
+      (0.0, 0.0, 0.0, 0.0, 1);
+      (0.1, 0.02, 0.05, 0.05, 2);
+    ]
 
 let render_resilience rows =
   Report.table
     ~title:
-      "Load balancing under mid-round churn + message loss (fault-injection \
-       layer, up to 3 rounds):\n\
+      "Load balancing under mid-round churn, message loss and transfer-path \
+       faults (up to 3 rounds):\n\
        crashes fire at phase barriers; lost messages retried with bounded \
-       backoff; KT self-repairs"
+       backoff; KT self-repairs;\n\
+       duplicated/partitioned/crash-struck transfers handled by the \
+       transactional VST protocol"
     ~header:
-      [ "crash"; "loss"; "crashes"; "live"; "heavy after"; "moved";
-        "repairs"; "repair msgs"; "retries"; "timeouts"; "invariants" ]
+      [ "crash"; "loss"; "dup"; "xcrash"; "parts"; "crashes"; "live";
+        "heavy after"; "moved"; "repairs"; "retries"; "timeouts"; "aborted";
+        "dedup"; "invariants" ]
     (List.map
        (fun z ->
          [
            Report.percent_cell z.z_crash_fraction;
            Report.percent_cell z.z_message_loss;
+           Report.percent_cell z.z_duplicate_prob;
+           Report.percent_cell z.z_transfer_crash;
+           string_of_int z.z_partitions;
            string_of_int z.z_crashes;
            string_of_int z.z_final_live;
            Report.percent_cell z.z_heavy_fraction;
            Report.percent_cell z.z_moved_factor;
            string_of_int z.z_repairs;
-           string_of_int z.z_repair_messages;
            string_of_int z.z_retries;
            string_of_int z.z_timeouts;
+           string_of_int z.z_aborted;
+           string_of_int z.z_deduped;
            (if z.z_invariants_ok then "ok" else "VIOLATED");
          ])
        rows)

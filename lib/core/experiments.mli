@@ -119,6 +119,9 @@ val render_churn : churn_result -> string
 type resilience_row = {
   z_crash_fraction : float;  (** fault-plan crash fraction *)
   z_message_loss : float;    (** per-send loss probability *)
+  z_duplicate_prob : float;  (** per-message duplication probability *)
+  z_transfer_crash : float;  (** mid-transfer crash-window probability *)
+  z_partitions : int;        (** partition episodes in the fault plan *)
   z_crashes : int;           (** crashes that actually fired *)
   z_final_live : int;
   z_heavy_fraction : float;  (** heavy after / live after *)
@@ -127,8 +130,12 @@ type resilience_row = {
   z_repair_messages : int;
   z_retries : int;
   z_timeouts : int;
+  z_aborted : int;           (** transfers rolled back by the VST protocol *)
+  z_deduped : int;           (** duplicated TRANSFERs suppressed by seq *)
   z_rounds : int;
-  z_invariants_ok : bool;    (** {!Invariants.all} after the last round *)
+  z_invariants_ok : bool;
+      (** per-round {!Invariants.all} (incl. VS conservation) plus a
+          final whole-battery pass *)
 }
 
 val resilience :
@@ -137,8 +144,11 @@ val resilience :
 (** The fault-injection experiment: multiround balancing with node
     crashes firing {e at the phase barriers inside} each round plus
     per-message loss, swept over churn rates (0%..30% crashes,
-    0%..5% loss).  The 0%/0% row doubles as the zero-perturbation
-    control: it must match the fault-free numbers exactly. *)
+    0%..5% loss), then over transfer-path faults (duplication,
+    mid-transfer crash windows, partition episodes) that engage the
+    transactional VST protocol.  The all-zero row doubles as the
+    zero-perturbation control: it must match the fault-free numbers
+    exactly. *)
 
 val render_resilience : resilience_row list -> string
 

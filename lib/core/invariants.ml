@@ -82,9 +82,59 @@ let live_load_accounted ?(tolerance = 1e-6) dht =
     Error
       (Printf.sprintf "live nodes hold %g of %g total load" live total)
 
+let vs_snapshot dht =
+  let pairs =
+    Dht.fold_vs dht ~init:[] ~f:(fun acc v -> (v.Dht.vs_id, v.Dht.owner) :: acc)
+  in
+  List.sort (fun (a, _) (b, _) -> Int.compare a b) pairs
+
+let vs_conservation ~before ?(crashes = 0) dht =
+  let err = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !err = None then err := Some s) fmt in
+  (* 1. No duplication: every ring VS is listed exactly once across
+     all alive nodes' lists — a double-applied transfer would leave a
+     second listing behind, which [ownership] alone cannot see when
+     both listings name the same owner. *)
+  let listed : (Id.t, int) Hashtbl.t = Hashtbl.create 256 in
+  Dht.fold_nodes dht ~init:() ~f:(fun () n ->
+      List.iter
+        (fun (v : Dht.vs) ->
+          let c =
+            match Hashtbl.find_opt listed v.Dht.vs_id with
+            | Some c -> c
+            | None -> 0
+          in
+          Hashtbl.replace listed v.Dht.vs_id (c + 1))
+        n.Dht.vss);
+  Dht.fold_vs dht ~init:() ~f:(fun () v ->
+      match Hashtbl.find_opt listed v.Dht.vs_id with
+      | Some 1 -> ()
+      | Some c -> fail "VS %#x listed %d times (duplicated)" v.Dht.vs_id c
+      | None -> fail "VS %#x on the ring but listed by no node" v.Dht.vs_id);
+  (* 2. No materialisation: every current VS existed before the round
+     (balancing moves VSs, it never mints them). *)
+  let before_ids : (Id.t, unit) Hashtbl.t = Hashtbl.create 256 in
+  List.iter (fun (id, _) -> Hashtbl.replace before_ids id ()) before;
+  Dht.fold_vs dht ~init:() ~f:(fun () v ->
+      if not (Hashtbl.mem before_ids v.Dht.vs_id) then
+        fail "VS %#x appeared from nowhere (duplicated or minted)" v.Dht.vs_id);
+  (* 3. No loss: a VS may only disappear by crash absorption (its
+     region and load fold into the successor when a node fail-stops);
+     with no crashes since the snapshot, the before/after id sets must
+     match exactly. *)
+  if crashes = 0 then
+    List.iter
+      (fun (id, owner) ->
+        match Dht.vs_of_id dht id with
+        | Some _ -> ()
+        | None ->
+          fail "VS %#x (owned by %d) vanished without a crash" id owner)
+      before;
+  match !err with None -> Ok () | Some e -> Error e
+
 let tree t dht = Ktree.check_consistent t dht
 
-let all ?tree:kt ?expected_total dht =
+let all ?tree:kt ?expected_total ?vs_before ?(crashes = 0) dht =
   let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e in
   let* () = ring_partition dht in
   let* () = ownership dht in
@@ -94,6 +144,11 @@ let all ?tree:kt ?expected_total dht =
   let* () =
     match expected_total with
     | Some expected_total -> load_conservation ~expected_total dht
+    | None -> Ok ()
+  in
+  let* () =
+    match vs_before with
+    | Some before -> vs_conservation ~before ~crashes dht
     | None -> Ok ()
   in
   match kt with Some t -> tree t dht | None -> Ok ()

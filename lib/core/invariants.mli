@@ -28,12 +28,33 @@ val live_load_accounted : ?tolerance:float -> 'a Dht.t -> (unit, string) result
 (** The load reachable through alive nodes' VS lists equals the ring
     total: churn strands no load on dead nodes. *)
 
+val vs_snapshot : 'a Dht.t -> (P2plb_idspace.Id.t * int) list
+(** The current [(vs id, owner)] pairs, sorted by vs id — the
+    "before" side of {!vs_conservation}. *)
+
+val vs_conservation :
+  before:(P2plb_idspace.Id.t * int) list ->
+  ?crashes:int ->
+  'a Dht.t ->
+  (unit, string) result
+(** No virtual server was lost or duplicated since [before] was
+    snapshot: every ring VS is listed exactly once across alive
+    nodes (a double-applied transfer leaves a second listing), no VS
+    id exists now that did not exist before, and — when [crashes]
+    (node deaths since the snapshot, default 0) is zero — no VS id
+    disappeared either.  Crash absorption is the only legal way for a
+    VS to vanish (its region and load fold into the successor), so
+    disappearances are tolerated only when [crashes > 0]. *)
+
 val tree : Ktree.t -> 'a Dht.t -> (unit, string) result
 (** Delegates to {!Ktree.check_consistent}. *)
 
 val all :
   ?tree:Ktree.t ->
   ?expected_total:float ->
+  ?vs_before:(P2plb_idspace.Id.t * int) list ->
+  ?crashes:int ->
   'a Dht.t ->
   (unit, string) result
-(** Runs every applicable check; first failure wins. *)
+(** Runs every applicable check; first failure wins.  [vs_before]
+    (with [crashes]) enables {!vs_conservation}. *)

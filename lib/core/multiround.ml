@@ -10,6 +10,8 @@ type round = {
   transfers : int;
   live_nodes : int;
   skipped : int;
+  aborted : int;
+  deduped : int;
   repairs : int;
   repair_messages : int;
   retries : int;
@@ -26,7 +28,12 @@ type result = {
   total_repair_messages : int;
   total_retries : int;
   total_timeouts : int;
+  total_aborted : int;
+  total_deduped : int;
   crashes : int;
+  transfer_crashes : int;
+  partitions_formed : int;
+  violation : (int * string) option;
 }
 
 (* Fault-plan crash events pick a victim by rank in [0,1) over the
@@ -44,13 +51,14 @@ let crash_by_rank dht ~rank =
       Dht.crash dht victim.Dht.node_id
   end
 
-let run ?(config = Controller.default) ?faults ?obs ?(max_rounds = 10) scenario
-    =
+let run ?(config = Controller.default) ?faults ?obs ?(max_rounds = 10) ?check
+    scenario =
   if max_rounds < 1 then invalid_arg "Multiround.run: max_rounds < 1";
   let dht = scenario.Scenario.dht in
   (* A round occupies one unit of simulated time; the fault plan's
-     crashes are spread over the whole horizon and fire at the phase
-     barriers inside Controller.run (mid-round churn). *)
+     crashes and partition episodes are spread over the whole horizon
+     and fire at the phase barriers inside Controller.run (mid-round
+     churn and mid-round cuts). *)
   let engine =
     match faults with
     | Some f when Faults.enabled f ->
@@ -62,7 +70,12 @@ let run ?(config = Controller.default) ?faults ?obs ?(max_rounds = 10) scenario
       Some e
     | _ -> None
   in
-  let crashes0 = match faults with Some f -> Faults.crashes f | None -> 0 in
+  let counters0 =
+    match faults with
+    | Some f ->
+      (Faults.crashes f, Faults.transfer_crashes f, Faults.partitions_formed f)
+    | None -> (0, 0, 0)
+  in
   let rec go index acc total =
     let o = Controller.run ~config ?faults ?engine ?obs scenario in
     (* Drain this round's remaining fault events (e.g. crashes armed
@@ -81,17 +94,41 @@ let run ?(config = Controller.default) ?faults ?obs ?(max_rounds = 10) scenario
         transfers = o.Controller.vst.Vst.transfers;
         live_nodes = Dht.n_nodes dht;
         skipped = o.Controller.vst.Vst.skipped;
+        aborted = o.Controller.vst.Vst.aborted;
+        deduped = o.Controller.vst.Vst.deduped;
         repairs = o.Controller.kt_repairs;
         repair_messages = o.Controller.kt_repair_messages;
         retries = o.Controller.retries;
         timeouts = o.Controller.timeouts;
       }
     in
+    let violation =
+      match check with
+      | None -> None
+      | Some f -> ( match f r with Ok () -> None | Error e -> Some (index, e))
+    in
     let acc = r :: acc and total = total +. r.moved_load in
-    if ha = 0 || r.transfers = 0 || index + 1 >= max_rounds then
-      let converged = ha = 0 || r.transfers = 0 in
+    let stop =
+      match violation with
+      | Some _ -> true
+      | None -> ha = 0 || r.transfers = 0 || index + 1 >= max_rounds
+    in
+    if stop then begin
+      let converged =
+        (match violation with Some _ -> false | None -> true)
+        && (ha = 0 || r.transfers = 0)
+      in
       let rounds = List.rev acc in
       let sum f = List.fold_left (fun s r -> s + f r) 0 rounds in
+      let c0, tc0, p0 = counters0 in
+      let crashes, transfer_crashes, partitions_formed =
+        match faults with
+        | Some f ->
+          ( Faults.crashes f - c0,
+            Faults.transfer_crashes f - tc0,
+            Faults.partitions_formed f - p0 )
+        | None -> (0, 0, 0)
+      in
       {
         rounds;
         converged;
@@ -102,11 +139,14 @@ let run ?(config = Controller.default) ?faults ?obs ?(max_rounds = 10) scenario
         total_repair_messages = sum (fun r -> r.repair_messages);
         total_retries = sum (fun r -> r.retries);
         total_timeouts = sum (fun r -> r.timeouts);
-        crashes =
-          (match faults with
-          | Some f -> Faults.crashes f - crashes0
-          | None -> 0);
+        total_aborted = sum (fun r -> r.aborted);
+        total_deduped = sum (fun r -> r.deduped);
+        crashes;
+        transfer_crashes;
+        partitions_formed;
+        violation;
       }
+    end
     else go (index + 1) acc total
   in
   go 0 [] 0.0
@@ -114,10 +154,24 @@ let run ?(config = Controller.default) ?faults ?obs ?(max_rounds = 10) scenario
 let pp fmt r =
   Format.fprintf fmt "%d round(s), converged=%b, final heavy=%d/%d live@\n"
     (List.length r.rounds) r.converged r.final_heavy r.final_live;
-  if r.crashes > 0 || r.total_retries > 0 || r.total_timeouts > 0 then
+  if
+    r.crashes > 0 || r.total_retries > 0 || r.total_timeouts > 0
+    || r.transfer_crashes > 0 || r.partitions_formed > 0
+  then begin
     Format.fprintf fmt
       "  churn: %d crashes, %d KT repairs, %d retries, %d timeouts@\n"
       r.crashes r.total_repairs r.total_retries r.total_timeouts;
+    if r.transfer_crashes > 0 || r.partitions_formed > 0 || r.total_aborted > 0
+    then
+      Format.fprintf fmt
+        "  transfer faults: %d mid-transfer crashes, %d partitions, %d \
+         aborted, %d deduped@\n"
+        r.transfer_crashes r.partitions_formed r.total_aborted r.total_deduped
+  end;
+  (match r.violation with
+  | None -> ()
+  | Some (index, e) ->
+    Format.fprintf fmt "  INVARIANT VIOLATION after round %d: %s@\n" index e);
   List.iter
     (fun round ->
       Format.fprintf fmt
@@ -126,5 +180,8 @@ let pp fmt r =
       if round.skipped > 0 || round.repairs > 0 then
         Format.fprintf fmt " (%d skipped, %d repairs)" round.skipped
           round.repairs;
+      if round.aborted > 0 || round.deduped > 0 then
+        Format.fprintf fmt " (%d aborted, %d deduped)" round.aborted
+          round.deduped;
       Format.fprintf fmt "@\n")
     r.rounds

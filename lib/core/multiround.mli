@@ -9,11 +9,17 @@ module Faults = P2plb_sim.Faults
     until quiescence and reports per-round statistics.
 
     With a fault plan the iteration doubles as a churn experiment: the
-    plan's node crashes are armed on a simulated clock spanning all
-    rounds and fire at the phase barriers inside each round, while
-    message loss stresses the retry layer.  Rounds then run on
-    whatever nodes remain, and convergence is judged against the live
-    population. *)
+    plan's node crashes and partition episodes are armed on a
+    simulated clock spanning all rounds and fire at the phase barriers
+    inside each round, while message loss stresses the retry layer and
+    transfer-path faults exercise the transactional VST protocol.
+    Rounds then run on whatever nodes remain, and convergence is
+    judged against the live population.
+
+    A per-round [check] hook turns the iteration into a soak: the
+    first failing check stops the run and is reported as a
+    [violation], so a chaos harness can assert whole-system invariants
+    after every round and name the exact round that broke them. *)
 
 type round = {
   index : int;  (** 0-based *)
@@ -23,6 +29,8 @@ type round = {
   transfers : int;
   live_nodes : int;  (** alive after the round *)
   skipped : int;  (** transfers dropped (stale pairing after churn) *)
+  aborted : int;  (** transfer transactions rolled back per cause *)
+  deduped : int;  (** duplicated TRANSFERs dropped by sequence number *)
   repairs : int;  (** KT nodes re-planted this round *)
   repair_messages : int;
   retries : int;
@@ -33,7 +41,7 @@ type result = {
   rounds : round list;  (** in execution order, at least one *)
   converged : bool;
       (** no heavy node remained, or a fixpoint was reached (a round
-          moved nothing) *)
+          moved nothing); always [false] when a check failed *)
   total_moved : float;
   final_heavy : int;
   final_live : int;
@@ -41,7 +49,13 @@ type result = {
   total_repair_messages : int;
   total_retries : int;
   total_timeouts : int;
-  crashes : int;  (** fault-plan crashes that fired *)
+  total_aborted : int;
+  total_deduped : int;
+  crashes : int;  (** fault-plan scheduled crashes that fired *)
+  transfer_crashes : int;  (** mid-transfer-window crashes injected *)
+  partitions_formed : int;  (** partition episodes that started *)
+  violation : (int * string) option;
+      (** first failing per-round check: (round index, message) *)
 }
 
 val run :
@@ -49,15 +63,20 @@ val run :
   ?faults:Faults.t ->
   ?obs:P2plb_obs.Obs.t ->
   ?max_rounds:int ->
+  ?check:(round -> (unit, string) Stdlib.result) ->
   Scenario.t ->
   result
 (** Runs up to [max_rounds] (default 10) rounds, stopping early when
     no heavy nodes remain or a round makes no transfer.  When [faults]
-    is enabled, its crash schedule is armed over a horizon of
-    [max_rounds] simulated time units and every round is driven with
-    the fault plan attached; without it, behaviour is byte-identical
-    to the fault-free path.  [obs] is threaded into every round
-    (see {!Controller.run}); successive rounds occupy successive units
-    of simulated time in the trace. *)
+    is enabled, its crash schedule and partition episodes are armed
+    over a horizon of [max_rounds] simulated time units and every
+    round is driven with the fault plan attached; without it,
+    behaviour is byte-identical to the fault-free path.  [obs] is
+    threaded into every round (see {!Controller.run}); successive
+    rounds occupy successive units of simulated time.
+
+    [check] runs after every round (after the round's remaining fault
+    events have been drained); the first [Error] stops the iteration
+    and is recorded as [violation]. *)
 
 val pp : Format.formatter -> result -> unit

@@ -2,6 +2,7 @@ module Dht = P2plb_chord.Dht
 module Ktree = P2plb_ktree.Ktree
 module Graph = P2plb_topology.Graph
 module Histogram = P2plb_metrics.Histogram
+module Faults = P2plb_sim.Faults
 
 type result = {
   hist : Histogram.t;
@@ -11,10 +12,17 @@ type result = {
   skipped_vs_gone : int;
   skipped_owner_changed : int;
   skipped_dest_dead : int;
+  aborted : int;
+  aborted_prepare_lost : int;
+  aborted_partitioned : int;
+  aborted_src_crashed : int;
+  aborted_dest_crashed : int;
+  aborted_commit_lost : int;
+  deduped : int;
   restructure_messages : int;
 }
 
-let apply ?tree ?obs ~oracle dht assignments =
+let apply ?tree ?obs ?faults ~oracle dht assignments =
   let trace_point name attrs =
     match obs with
     | None -> ()
@@ -26,7 +34,27 @@ let apply ?tree ?obs ~oracle dht assignments =
   let skipped_vs_gone = ref 0 in
   let skipped_owner_changed = ref 0 in
   let skipped_dest_dead = ref 0 in
+  let aborted_prepare_lost = ref 0 in
+  let aborted_partitioned = ref 0 in
+  let aborted_src_crashed = ref 0 in
+  let aborted_dest_crashed = ref 0 in
+  let aborted_commit_lost = ref 0 in
+  let deduped = ref 0 in
   let restructure = ref 0 in
+  (* The transactional path only engages for plans that carry
+     transfer-path faults; otherwise transfers stay atomic and the
+     round consumes no extra randomness (byte-identical legacy path). *)
+  let txn =
+    match faults with
+    | Some f when Faults.transfer_protocol f -> Some f
+    | _ -> None
+  in
+  (* Per-assignment sequence numbers: the pair (vs id, seq) names one
+     transaction, so a replayed TRANSFER is recognised and dropped. *)
+  let seq = ref 0 in
+  let applied : (P2plb_idspace.Id.t * int, unit) Hashtbl.t =
+    Hashtbl.create 64
+  in
   (* KT nodes planted per VS, for lazy-migration accounting. *)
   let kt_per_vs : (P2plb_idspace.Id.t, int) Hashtbl.t = Hashtbl.create 256 in
   (match tree with
@@ -40,40 +68,119 @@ let apply ?tree ?obs ~oracle dht assignments =
              | None -> 0
            in
            Hashtbl.replace kt_per_vs n.Ktree.host (cur + 1))));
+  (* Mid-window fail-stop, mirroring the multiround crash guard: never
+     empty the ring, never strand every VS on the victim.  [false]
+     when the victim was shielded (the transaction then proceeds). *)
+  let crash_endpoint id =
+    Dht.is_alive dht id
+    && Dht.n_nodes dht > 1
+    && List.length (Dht.node dht id).Dht.vss < Dht.n_vs dht
+    && begin
+         Dht.crash dht id;
+         true
+       end
+  in
+  let abort counter cause =
+    incr counter;
+    trace_point "vst/abort"
+      [
+        ("cause", P2plb_obs.Trace.Str cause); ("seq", P2plb_obs.Trace.Int !seq);
+      ]
+  in
+  (* A committed transfer's accounting (shared by both paths). *)
+  let commit (a : Types.assignment) (v : Dht.vs) ~hops =
+    Histogram.add hist ~bin:hops ~weight:v.Dht.load;
+    trace_point "vst/transfer"
+      [
+        ("hops", P2plb_obs.Trace.Int hops);
+        ("load", P2plb_obs.Trace.Float v.Dht.load);
+      ];
+    (match obs with
+    | None -> ()
+    | Some o ->
+      Histogram.add
+        (P2plb_obs.Registry.histogram (P2plb_obs.Obs.metrics o) "vst/hop_cost")
+        ~bin:hops ~weight:v.Dht.load);
+    moved_load := !moved_load +. v.Dht.load;
+    incr transfers;
+    match tree with
+    | None -> ()
+    | Some t ->
+      let kt_count =
+        match Hashtbl.find_opt kt_per_vs a.a_vs_id with
+        | Some c -> c
+        | None -> 0
+      in
+      restructure := !restructure + (kt_count * (Ktree.k t + 1))
+  in
   List.iter
     (fun (a : Types.assignment) ->
       match Dht.vs_of_id dht a.a_vs_id with
-      | Some v when v.Dht.owner = a.a_from && Dht.is_alive dht a.a_to ->
+      | Some v when v.Dht.owner = a.a_from && Dht.is_alive dht a.a_to -> (
         let src = Dht.node dht a.a_from and dst = Dht.node dht a.a_to in
-        Dht.transfer_vs dht ~vs_id:a.a_vs_id ~to_node:a.a_to;
         let hops =
           Graph.Oracle.distance oracle ~src:src.Dht.underlay
             ~dst:dst.Dht.underlay
         in
-        Histogram.add hist ~bin:hops ~weight:v.Dht.load;
-        trace_point "vst/transfer"
-          [
-            ("hops", P2plb_obs.Trace.Int hops);
-            ("load", P2plb_obs.Trace.Float v.Dht.load);
-          ];
-        (match obs with
-        | None -> ()
-        | Some o ->
-          Histogram.add
-            (P2plb_obs.Registry.histogram (P2plb_obs.Obs.metrics o)
-               "vst/hop_cost")
-            ~bin:hops ~weight:v.Dht.load);
-        moved_load := !moved_load +. v.Dht.load;
-        incr transfers;
-        (match tree with
-        | None -> ()
-        | Some t ->
-          let kt_count =
-            match Hashtbl.find_opt kt_per_vs a.a_vs_id with
-            | Some c -> c
-            | None -> 0
-          in
-          restructure := !restructure + (kt_count * (Ktree.k t + 1)))
+        match txn with
+        | None ->
+          (* atomic legacy transfer *)
+          Dht.transfer_vs dht ~vs_id:a.a_vs_id ~to_node:a.a_to;
+          commit a v ~hops
+        | Some f -> (
+          incr seq;
+          (* PREPARE: the heavy owner proposes (vs, seq) to the light
+             node; nothing has moved yet, so a drop aborts cleanly. *)
+          match Faults.send_between f ~src:a.a_from ~dst:a.a_to with
+          | Faults.Lost ->
+            if Faults.cut f ~a:a.a_from ~b:a.a_to then
+              abort aborted_partitioned "partitioned"
+            else abort aborted_prepare_lost "prepare_lost"
+          | Faults.Delivered _ -> (
+            (* mid-transfer crash window: a fail-stop between PREPARE
+               and COMMIT must leave the VS either safely home (dst
+               died: nothing moved) or absorbed by the ring's crash
+               handling (src died with the VS still home) — never
+               half-transferred. *)
+            let crashed =
+              match Faults.crash_in_window f with
+              | Faults.No_crash -> false
+              | Faults.Crash_dst ->
+                if crash_endpoint a.a_to then begin
+                  abort aborted_dest_crashed "dest_crashed";
+                  true
+                end
+                else false
+              | Faults.Crash_src ->
+                if crash_endpoint a.a_from then begin
+                  abort aborted_src_crashed "src_crashed";
+                  true
+                end
+                else false
+            in
+            if not crashed then begin
+              (* TRANSFER: the VS moves; a duplicated delivery carries
+                 the same sequence number and is dropped idempotently
+                 instead of re-applying. *)
+              Dht.transfer_vs dht ~vs_id:a.a_vs_id ~to_node:a.a_to;
+              Hashtbl.replace applied (a.a_vs_id, !seq) ();
+              if Faults.duplicated f && Hashtbl.mem applied (a.a_vs_id, !seq)
+              then begin
+                incr deduped;
+                trace_point "vst/dedup"
+                  [ ("seq", P2plb_obs.Trace.Int !seq) ]
+              end;
+              (* COMMIT: the light node acknowledges; until it lands
+                 the heavy owner keeps the right to reclaim, so a lost
+                 ack rolls the VS back instead of stranding it. *)
+              match Faults.send_between f ~src:a.a_to ~dst:a.a_from with
+              | Faults.Delivered _ -> commit a v ~hops
+              | Faults.Lost ->
+                Dht.transfer_vs dht ~vs_id:a.a_vs_id ~to_node:a.a_from;
+                if Faults.cut f ~a:a.a_from ~b:a.a_to then
+                  abort aborted_partitioned "partitioned"
+                else abort aborted_commit_lost "commit_lost"
+            end)))
       | None ->
         incr skipped_vs_gone;
         trace_point "vst/skip" [ ("cause", P2plb_obs.Trace.Str "vs_gone") ]
@@ -89,6 +196,10 @@ let apply ?tree ?obs ~oracle dht assignments =
      VSA/VST round (hosts are VS ids, so structure is unchanged; this
      re-validates coverage after ring-state changes). *)
   (match tree with None -> () | Some t -> Ktree.refresh t dht);
+  let aborted =
+    !aborted_prepare_lost + !aborted_partitioned + !aborted_src_crashed
+    + !aborted_dest_crashed + !aborted_commit_lost
+  in
   (match obs with
   | None -> ()
   | Some o ->
@@ -98,7 +209,16 @@ let apply ?tree ?obs ~oracle dht assignments =
     P2plb_obs.Registry.add (P2plb_obs.Registry.counter m "vst/skipped")
       (!skipped_vs_gone + !skipped_owner_changed + !skipped_dest_dead);
     P2plb_obs.Registry.accum (P2plb_obs.Registry.gauge m "vst/moved_load")
-      !moved_load);
+      !moved_load;
+    (* Transactional series exist only when the protocol ran, so
+       zero-fault (and legacy-fault) registry dumps are unchanged. *)
+    match txn with
+    | None -> ()
+    | Some _ ->
+      P2plb_obs.Registry.add (P2plb_obs.Registry.counter m "vst/aborted")
+        aborted;
+      P2plb_obs.Registry.add (P2plb_obs.Registry.counter m "vst/deduped")
+        !deduped);
   {
     hist;
     moved_load = !moved_load;
@@ -107,6 +227,13 @@ let apply ?tree ?obs ~oracle dht assignments =
     skipped_vs_gone = !skipped_vs_gone;
     skipped_owner_changed = !skipped_owner_changed;
     skipped_dest_dead = !skipped_dest_dead;
+    aborted;
+    aborted_prepare_lost = !aborted_prepare_lost;
+    aborted_partitioned = !aborted_partitioned;
+    aborted_src_crashed = !aborted_src_crashed;
+    aborted_dest_crashed = !aborted_dest_crashed;
+    aborted_commit_lost = !aborted_commit_lost;
+    deduped = !deduped;
     restructure_messages = !restructure;
   }
 

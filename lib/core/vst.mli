@@ -2,6 +2,7 @@ module Dht = P2plb_chord.Dht
 module Ktree = P2plb_ktree.Ktree
 module Graph = P2plb_topology.Graph
 module Histogram = P2plb_metrics.Histogram
+module Faults = P2plb_sim.Faults
 
 (** Phase 4: virtual-server transferring (paper §3.5).
 
@@ -10,12 +11,35 @@ module Histogram = P2plb_metrics.Histogram
     transfer cost is the weighted underlay hop distance between the
     two physical nodes — the metric of the paper's Figures 7–8 — and
     each transferred VS's KT nodes lazily migrate with it at K+1
-    messages apiece. *)
+    messages apiece.
+
+    {2 Transactional transfers}
+
+    When the fault plan carries transfer-path faults
+    ({!Faults.transfer_protocol}), each assignment runs as a
+    PREPARE -> TRANSFER -> COMMIT transaction with a per-assignment
+    sequence number:
+
+    - a PREPARE lost to message loss or a partition cut aborts before
+      anything moves;
+    - a fail-stop crash of either endpoint inside the window leaves
+      the VS either safely home (destination died) or absorbed by the
+      ring's ordinary crash handling (source died) — never
+      half-transferred;
+    - a duplicated TRANSFER delivery carries the same sequence number
+      and is dropped idempotently instead of re-applying;
+    - a lost COMMIT acknowledgement rolls the VS back to its heavy
+      owner rather than stranding it mid-handoff.
+
+    Plans without transfer-path faults (including [None]) take the
+    atomic legacy path, which consumes no extra randomness — runs with
+    the new fault fields at zero are byte-identical to older
+    releases. *)
 
 type result = {
   hist : Histogram.t;  (** moved load, binned by underlay hop distance *)
   moved_load : float;
-  transfers : int;
+  transfers : int;  (** committed transfers only *)
   skipped : int;
       (** assignments that could not be applied — the sum of the three
           per-cause counters below *)
@@ -27,12 +51,34 @@ type result = {
           node (e.g. an earlier transfer re-homed it) *)
   skipped_dest_dead : int;
       (** the assigned light node died before the transfer landed *)
+  aborted : int;
+      (** transactions rolled back by transfer-path faults — the sum
+          of the five per-cause counters below; always 0 on the
+          legacy path *)
+  aborted_prepare_lost : int;  (** PREPARE timed out; nothing moved *)
+  aborted_partitioned : int;
+      (** a partition cut separated the endpoints; the VS stayed (or
+          was rolled back) home *)
+  aborted_src_crashed : int;
+      (** the heavy owner fail-stopped mid-window; the VS was absorbed
+          by its successor along with the rest of the owner's ring
+          state *)
+  aborted_dest_crashed : int;
+      (** the light node fail-stopped mid-window; the VS never left
+          its heavy owner *)
+  aborted_commit_lost : int;
+      (** the COMMIT ack timed out; the VS was rolled back to its
+          heavy owner *)
+  deduped : int;
+      (** duplicated TRANSFER deliveries recognised by their sequence
+          number and dropped instead of double-applied *)
   restructure_messages : int;
 }
 
 val apply :
   ?tree:Ktree.t ->
   ?obs:P2plb_obs.Obs.t ->
+  ?faults:Faults.t ->
   oracle:Graph.Oracle.t ->
   'a Dht.t ->
   Types.assignment list ->
@@ -40,11 +86,19 @@ val apply :
 (** [tree] enables KT-migration message accounting (and is refreshed
     afterwards under the lazy-migration protocol).
 
-    [obs] records one ["vst/transfer"] trace point per applied
+    [faults] supplies the transfer-path fault draws; the transactional
+    protocol only engages when {!Faults.transfer_protocol} holds.
+    Mid-window crashes respect the multiround guard (never empty the
+    ring, never kill a node hosting every VS; a shielded victim lets
+    the transaction proceed).
+
+    [obs] records one ["vst/transfer"] trace point per committed
     assignment (attributes [hops], [load] — Figures 7–8 are derivable
-    from the trace alone) and a cause-tagged ["vst/skip"] per dropped
-    one, plus registry series [vst/transfers], [vst/skipped],
-    [vst/moved_load] and the [vst/hop_cost] histogram. *)
+    from the trace alone), a cause-tagged ["vst/skip"] per dropped
+    one, and — transactional path only — cause-tagged ["vst/abort"]
+    and ["vst/dedup"] points, plus registry series [vst/transfers],
+    [vst/skipped], [vst/moved_load], [vst/aborted], [vst/deduped] and
+    the [vst/hop_cost] histogram. *)
 
 val mean_transfer_distance : result -> float
 (** Load-weighted mean hop distance; 0 when nothing moved. *)

@@ -6,7 +6,13 @@ type config = {
   max_attempts : int;
   backoff_base : float;
   backoff_factor : float;
+  max_backoff : float;
   landmark_failures : int;
+  duplicate_prob : float;
+  transfer_crash : float;
+  partitions : int;
+  partition_groups : int;
+  partition_duration : float;
 }
 
 let none =
@@ -16,30 +22,56 @@ let none =
     max_attempts = 1;
     backoff_base = 0.0;
     backoff_factor = 1.0;
+    max_backoff = infinity;
     landmark_failures = 0;
+    duplicate_prob = 0.0;
+    transfer_crash = 0.0;
+    partitions = 0;
+    partition_groups = 2;
+    partition_duration = 0.0;
   }
 
 let churn ?(crash_fraction = 0.1) ?(message_loss = 0.01)
-    ?(landmark_failures = 0) () =
+    ?(landmark_failures = 0) ?(duplicate_prob = 0.0) ?(transfer_crash = 0.0)
+    ?(partitions = 0) ?(partition_groups = 2) ?(partition_duration = 1.0) () =
   {
     crash_fraction;
     message_loss;
     max_attempts = 4;
     backoff_base = 0.01;
     backoff_factor = 2.0;
+    (* non-binding for the default 4 attempts (waits 0.01/0.02/0.04) —
+       the cap only engages for configs that raise max_attempts *)
+    max_backoff = 1.0;
     landmark_failures;
+    duplicate_prob;
+    transfer_crash;
+    partitions;
+    partition_groups;
+    partition_duration;
   }
+
+(* One partition episode: while active, nodes hashed to different
+   groups cannot exchange messages. *)
+type partition = { epoch : int; groups : int }
 
 type t = {
   config : config;
   loss_rng : Prng.t;  (* per-message drop decisions *)
-  plan_rng : Prng.t;  (* crash times and victim ranks *)
+  plan_rng : Prng.t;  (* crash times, victim ranks, partition times *)
   landmark_seed : int;
+  xfer_rng : Prng.t;  (* duplication and mid-transfer-crash draws *)
+  partition_salt : int;  (* group assignment hash key *)
+  mutable active_partitions : partition list;
   mutable retries : int;
   mutable timeouts : int;
   mutable drops : int;
   mutable crashes : int;
   mutable backoff_time : float;
+  mutable duplicates : int;
+  mutable transfer_crashes : int;
+  mutable partition_drops : int;
+  mutable partitions_formed : int;
   mutable obs : P2plb_obs.Obs.t option;
 }
 
@@ -49,22 +81,44 @@ let create ~seed config =
   if config.message_loss < 0.0 || config.message_loss >= 1.0 then
     invalid_arg "Faults.create: message_loss outside [0, 1)";
   if config.max_attempts < 1 then invalid_arg "Faults.create: max_attempts < 1";
+  if config.max_backoff < 0.0 then invalid_arg "Faults.create: max_backoff < 0";
   if config.landmark_failures < 0 then
     invalid_arg "Faults.create: landmark_failures < 0";
+  if config.duplicate_prob < 0.0 || config.duplicate_prob >= 1.0 then
+    invalid_arg "Faults.create: duplicate_prob outside [0, 1)";
+  if config.transfer_crash < 0.0 || config.transfer_crash >= 1.0 then
+    invalid_arg "Faults.create: transfer_crash outside [0, 1)";
+  if config.partitions < 0 then invalid_arg "Faults.create: partitions < 0";
+  if config.partitions > 0 && config.partition_groups < 2 then
+    invalid_arg "Faults.create: partition_groups < 2";
+  if config.partitions > 0 && config.partition_duration <= 0.0 then
+    invalid_arg "Faults.create: partition_duration <= 0";
   let master = Prng.create ~seed in
   let loss_rng = Prng.split master in
   let plan_rng = Prng.split master in
   let landmark_seed = Int64.to_int (Prng.bits64 master) in
+  (* New streams are drawn after every pre-existing one, so plans built
+     from configs with the new fields at zero keep loss_rng, plan_rng
+     and landmark_seed byte-identical to older releases. *)
+  let xfer_rng = Prng.split master in
+  let partition_salt = Int64.to_int (Prng.bits64 master) in
   {
     config;
     loss_rng;
     plan_rng;
     landmark_seed;
+    xfer_rng;
+    partition_salt;
+    active_partitions = [];
     retries = 0;
     timeouts = 0;
     drops = 0;
     crashes = 0;
     backoff_time = 0.0;
+    duplicates = 0;
+    transfer_crashes = 0;
+    partition_drops = 0;
+    partitions_formed = 0;
     obs = None;
   }
 
@@ -81,10 +135,16 @@ let obs_event t name attrs =
 
 let config t = t.config
 
+let transfer_protocol t =
+  t.config.duplicate_prob > 0.0
+  || t.config.transfer_crash > 0.0
+  || t.config.partitions > 0
+
 let enabled t =
   t.config.crash_fraction > 0.0
   || t.config.message_loss > 0.0
   || t.config.landmark_failures > 0
+  || transfer_protocol t
 
 type send_outcome = Delivered of int | Lost
 
@@ -118,12 +178,75 @@ let send t =
         Lost
       end
       else begin
-        t.backoff_time <- t.backoff_time +. timeout;
+        (* each retransmission waits the exponential timeout, capped at
+           max_backoff ([min x infinity = x], so an uncapped config is
+           byte-identical to the pre-cap behaviour) *)
+        t.backoff_time <- t.backoff_time +. Float.min timeout t.config.max_backoff;
         attempt (n + 1) (timeout *. t.config.backoff_factor)
       end
     in
     attempt 1 t.config.backoff_base
   end
+
+(* --- Partitions -------------------------------------------------------- *)
+
+(* Group assignment is a stateless hash of (salt, epoch, node): stable
+   for the episode's whole lifetime, independent of query order, and
+   different per episode so successive partitions cut different sets. *)
+let side t (p : partition) node =
+  let seed =
+    t.partition_salt
+    lxor ((p.epoch + 1) * 0x9e3779b9)
+    lxor (node * 0x85ebca6b)
+  in
+  Prng.int (Prng.create ~seed) p.groups
+
+let cut t ~a ~b =
+  a <> b
+  && List.exists (fun p -> side t p a <> side t p b) t.active_partitions
+
+let partition_active t =
+  match t.active_partitions with [] -> false | _ :: _ -> true
+
+let send_between t ~src ~dst =
+  if cut t ~a:src ~b:dst then begin
+    (* every attempt crosses the cut; no retry can save it and no
+       randomness is consumed, keeping the loss stream aligned *)
+    t.partition_drops <- t.partition_drops + 1;
+    obs_event t "fault/drop" [ ("cause", P2plb_obs.Trace.Str "partition") ];
+    Lost
+  end
+  else send t
+
+(* --- Transfer-window faults -------------------------------------------- *)
+
+let duplicated t =
+  if t.config.duplicate_prob <= 0.0 then false
+  else if Prng.unit_float t.xfer_rng < t.config.duplicate_prob then begin
+    t.duplicates <- t.duplicates + 1;
+    obs_event t "fault/duplicate" [];
+    true
+  end
+  else false
+
+type window_crash = No_crash | Crash_src | Crash_dst
+
+let crash_in_window t =
+  if t.config.transfer_crash <= 0.0 then No_crash
+  else if Prng.unit_float t.xfer_rng >= t.config.transfer_crash then No_crash
+  else begin
+    let victim = if Prng.bool t.xfer_rng then Crash_src else Crash_dst in
+    t.transfer_crashes <- t.transfer_crashes + 1;
+    obs_event t "fault/transfer_crash"
+      [
+        ( "endpoint",
+          P2plb_obs.Trace.Str
+            (match victim with Crash_src -> "src" | _ -> "dst") );
+      ];
+    victim
+  end
+
+(* --- Schedules --------------------------------------------------------- *)
 
 let arm t engine ~horizon ~population ~crash =
   if horizon <= 0.0 then invalid_arg "Faults.arm: horizon <= 0";
@@ -143,6 +266,29 @@ let arm t engine ~horizon ~population ~crash =
                ("rank", P2plb_obs.Trace.Float rank);
              ];
            crash ~rank))
+  done;
+  (* Partition episodes are drawn after the crash schedule, so plans
+     with [partitions = 0] consume exactly the pre-existing stream. *)
+  for epoch = 1 to t.config.partitions do
+    let delay = Prng.float t.plan_rng horizon in
+    let p = { epoch; groups = t.config.partition_groups } in
+    ignore
+      (Engine.schedule engine ~delay (fun e ->
+           t.active_partitions <- p :: t.active_partitions;
+           t.partitions_formed <- t.partitions_formed + 1;
+           obs_event t "fault/partition"
+             [
+               ("epoch", P2plb_obs.Trace.Int epoch);
+               ("groups", P2plb_obs.Trace.Int p.groups);
+             ];
+           ignore
+             (Engine.schedule e ~delay:t.config.partition_duration (fun _ ->
+                  t.active_partitions <-
+                    List.filter
+                      (fun (q : partition) -> q.epoch <> p.epoch)
+                      t.active_partitions;
+                  obs_event t "fault/heal"
+                    [ ("epoch", P2plb_obs.Trace.Int epoch) ]))))
   done
 
 let failed_landmarks t ~m =
@@ -159,10 +305,18 @@ let timeouts t = t.timeouts
 let drops t = t.drops
 let crashes t = t.crashes
 let backoff_time t = t.backoff_time
+let duplicates t = t.duplicates
+let transfer_crashes t = t.transfer_crashes
+let partition_drops t = t.partition_drops
+let partitions_formed t = t.partitions_formed
 
 let reset_counters t =
   t.retries <- 0;
   t.timeouts <- 0;
   t.drops <- 0;
   t.crashes <- 0;
-  t.backoff_time <- 0.0
+  t.backoff_time <- 0.0;
+  t.duplicates <- 0;
+  t.transfer_crashes <- 0;
+  t.partition_drops <- 0;
+  t.partitions_formed <- 0

@@ -4,15 +4,19 @@ module Prng = P2plb_prng.Prng
 
     A fault plan is derived entirely from a seed: node-crash schedules
     (armed as {!Engine} events), a per-message loss stream consumed by
-    the reliable-send wrapper, and optional landmark failures.  Every
-    draw flows through private SplitMix64 streams, so a plan replayed
-    with the same seed injects byte-identical faults — experiments stay
-    reproducible under churn.
+    the reliable-send wrapper, optional landmark failures, network
+    partition episodes, per-message duplication, and mid-transfer crash
+    windows.  Every draw flows through private SplitMix64 streams, so a
+    plan replayed with the same seed injects byte-identical faults —
+    experiments stay reproducible under churn.
 
     The layer is strictly pay-for-what-you-use: with [message_loss = 0]
     {!send} consumes no randomness and always delivers on the first
-    attempt, and a plan built from {!none} arms no crashes, so a run
-    with the fault layer disabled is bit-identical to one without it. *)
+    attempt; with [duplicate_prob = 0] / [transfer_crash = 0] the
+    transfer-window draws consume nothing; with [partitions = 0] no
+    episode is scheduled.  A plan built from {!none} arms no faults at
+    all, so a run with the fault layer disabled is bit-identical to one
+    without it. *)
 
 type config = {
   crash_fraction : float;
@@ -24,23 +28,50 @@ type config = {
   backoff_base : float;
       (** retransmission timeout before the first retry (sim time) *)
   backoff_factor : float;
-      (** timeout multiplier per further retry (bounded backoff) *)
+      (** timeout multiplier per further retry *)
+  max_backoff : float;
+      (** cap on a single retransmission wait, bounding the otherwise
+          exponential growth for large [max_attempts]; [infinity]
+          leaves the backoff uncapped (pre-cap behaviour) *)
   landmark_failures : int;
       (** landmark nodes that stop answering probes; their axes read
           as maximal distance *)
+  duplicate_prob : float;
+      (** per-TRANSFER probability in [0, 1) that the message is
+          delivered twice — replays must be deduplicated by the
+          transfer protocol's sequence numbers *)
+  transfer_crash : float;
+      (** per-transaction probability in [0, 1) that one endpoint
+          fail-stops inside the PREPARE..COMMIT window *)
+  partitions : int;
+      (** partition episodes scheduled over the {!arm} horizon *)
+  partition_groups : int;
+      (** sides of each partition (>= 2 when [partitions > 0]);
+          cross-group messages drop while an episode is active *)
+  partition_duration : float;
+      (** sim-time length of each episode (> 0 when [partitions > 0]) *)
 }
 
 val none : config
-(** All-zero plan: no crashes, no loss, no landmark failures. *)
+(** All-zero plan: no crashes, no loss, no landmark failures, no
+    partitions, no duplication, no transfer-window crashes. *)
 
 val churn :
   ?crash_fraction:float ->
   ?message_loss:float ->
   ?landmark_failures:int ->
+  ?duplicate_prob:float ->
+  ?transfer_crash:float ->
+  ?partitions:int ->
+  ?partition_groups:int ->
+  ?partition_duration:float ->
   unit ->
   config
 (** [churn ()] is the standard churn plan: 10% crashes, 1% message
-    loss, 4 attempts, exponential backoff (0.01 base, doubling). *)
+    loss, 4 attempts, exponential backoff (0.01 base, doubling, capped
+    at 1.0 — non-binding for 4 attempts).  The network-fault fields
+    default to zero/off, keeping default plans byte-identical to older
+    releases. *)
 
 type t
 
@@ -52,12 +83,21 @@ val config : t -> config
 val enabled : t -> bool
 (** Whether the plan can inject anything at all. *)
 
+val transfer_protocol : t -> bool
+(** Whether the plan carries transfer-path faults (duplication,
+    mid-transfer crash windows, or partitions) — when [true], {!Vst}
+    runs its transactional PREPARE/TRANSFER/COMMIT protocol; when
+    [false] it takes the atomic legacy path, which consumes no
+    additional randomness. *)
+
 val attach_obs : t -> P2plb_obs.Obs.t -> unit
 (** Routes injected faults to an observability bundle: every drop,
-    retry, timeout and crash emits a cause-tagged trace point
-    (["fault/drop"], ["fault/retry"], ["fault/timeout"],
-    ["fault/crash"]) and bumps the counter of the same name.  Without
-    an attachment the plan stays silent (and allocation-free). *)
+    retry, timeout, crash, duplication and partition event emits a
+    cause-tagged trace point (["fault/drop"], ["fault/retry"],
+    ["fault/timeout"], ["fault/crash"], ["fault/duplicate"],
+    ["fault/transfer_crash"], ["fault/partition"], ["fault/heal"]) and
+    bumps the counter of the same name.  Without an attachment the
+    plan stays silent (and allocation-free). *)
 
 (** {1 Message loss and reliable send} *)
 
@@ -68,14 +108,45 @@ type send_outcome =
 val send : t -> send_outcome
 (** One reliable send: attempts are dropped independently with
     probability [message_loss]; each retry is preceded by the bounded
-    exponential backoff and counted.  Consumes no randomness when
-    [message_loss <= 0]. *)
+    exponential backoff (each wait capped at [max_backoff]) and
+    counted.  Consumes no randomness when [message_loss <= 0]. *)
 
 val deliver : t -> bool
 (** One unreliable (single-attempt) send; [true] when it gets through.
     Consumes no randomness when [message_loss <= 0]. *)
 
-(** {1 Crash schedule} *)
+val send_between : t -> src:int -> dst:int -> send_outcome
+(** Endpoint-aware reliable send: [Lost] immediately (consuming no
+    randomness, counted as a partition drop) when an active partition
+    separates [src] from [dst]; otherwise behaves as {!send}. *)
+
+(** {1 Partitions} *)
+
+val cut : t -> a:int -> b:int -> bool
+(** Whether an active partition episode currently separates nodes [a]
+    and [b].  Stateless in the random streams: group membership is a
+    hash of (plan salt, episode, node id). *)
+
+val partition_active : t -> bool
+(** Whether any partition episode is currently active. *)
+
+(** {1 Transfer-window faults} *)
+
+val duplicated : t -> bool
+(** Draws whether the current TRANSFER message is delivered twice.
+    Consumes no randomness when [duplicate_prob <= 0]. *)
+
+type window_crash =
+  | No_crash
+  | Crash_src  (** the heavy (sending) endpoint fail-stops *)
+  | Crash_dst  (** the light (receiving) endpoint fail-stops *)
+
+val crash_in_window : t -> window_crash
+(** Draws whether a fail-stop crash strikes one endpoint between
+    PREPARE and COMMIT of the current transfer transaction, and which.
+    Consumes no randomness when [transfer_crash <= 0]. *)
+
+(** {1 Crash and partition schedules} *)
 
 val arm :
   t ->
@@ -88,7 +159,14 @@ val arm :
     plan-deterministic times uniform over [(now, now + horizon)].
     Each fires [crash ~rank] with [rank] uniform in [0, 1): the victim
     is the rank-th of whatever nodes are alive at fire time, keeping
-    the schedule meaningful as the population shrinks. *)
+    the schedule meaningful as the population shrinks.
+
+    Also schedules [partitions] partition episodes, each starting at a
+    plan-deterministic time uniform over the horizon and healing after
+    [partition_duration]; while active, {!cut} and {!send_between}
+    drop cross-group traffic.  Partition draws happen after all crash
+    draws, so plans with [partitions = 0] consume exactly the
+    pre-existing stream. *)
 
 (** {1 Landmark failures} *)
 
@@ -113,5 +191,18 @@ val crashes : t -> int
 val backoff_time : t -> float
 (** Total simulated time spent waiting in retransmission backoff. *)
 
+val duplicates : t -> int
+(** TRANSFER messages delivered twice so far. *)
+
+val transfer_crashes : t -> int
+(** Mid-transfer-window crashes injected so far. *)
+
+val partition_drops : t -> int
+(** Messages dropped at an active partition cut. *)
+
+val partitions_formed : t -> int
+(** Partition episodes that have started so far. *)
+
 val reset_counters : t -> unit
-(** Zeroes the counters; does not rewind the random streams. *)
+(** Zeroes the counters; does not rewind the random streams and does
+    not heal active partitions. *)

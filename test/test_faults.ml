@@ -8,6 +8,10 @@ module Multiround = P2plb.Multiround
 module Lbi = P2plb.Lbi
 module Invariants = P2plb.Invariants
 module Types = P2plb.Types
+module Vst = P2plb.Vst
+module Obs = P2plb_obs.Obs
+module Trace = P2plb_obs.Trace
+module Registry = P2plb_obs.Registry
 
 let check = Alcotest.check
 
@@ -150,6 +154,203 @@ let test_loss_only_round () =
   | Ok () -> ()
   | Error e -> Alcotest.fail e
 
+(* ---- backoff cap -------------------------------------------------------- *)
+
+(* Capping the retransmission backoff must change only the waiting
+   time: the loss stream, delivery outcomes and retry counts stay
+   identical, while total backoff shrinks and each capped wait is
+   bounded by the cap. *)
+let test_max_backoff_cap () =
+  let uncapped =
+    {
+      (Faults.churn ~crash_fraction:0.0 ~message_loss:0.6 ()) with
+      Faults.max_attempts = 8;
+      max_backoff = infinity;
+    }
+  in
+  let capped = { uncapped with Faults.max_backoff = 0.015 } in
+  let drive cfg =
+    let f = Faults.create ~seed:99 cfg in
+    let outcomes = List.init 200 (fun _ -> Faults.send f) in
+    (outcomes, Faults.backoff_time f, Faults.retries f, Faults.timeouts f)
+  in
+  let o1, t1, r1, x1 = drive uncapped in
+  let o2, t2, r2, x2 = drive capped in
+  check Alcotest.bool "delivery stream identical" true (o1 = o2);
+  check Alcotest.int "retry count identical" r1 r2;
+  check Alcotest.int "timeout count identical" x1 x2;
+  check Alcotest.bool "retries happened" true (r2 > 0);
+  check Alcotest.bool "cap shrinks total waiting" true (t2 < t1);
+  check Alcotest.bool "every capped wait bounded by the cap" true
+    (t2 <= (float_of_int r2 *. 0.015) +. 1e-9)
+
+(* ---- crash/partition schedule determinism ------------------------------- *)
+
+(* The armed schedule replays exactly — same fire times, same ranks —
+   even as the receiving population shrinks with every crash (the rank
+   indexes whatever is alive at fire time). *)
+let test_arm_schedule_determinism () =
+  let run () =
+    let f =
+      Faults.create ~seed:21
+        (Faults.churn ~crash_fraction:0.2 ~partitions:2
+           ~partition_duration:0.5 ())
+    in
+    let e = Engine.create () in
+    let events = ref [] in
+    let alive = ref 100 in
+    Faults.arm f e ~horizon:3.0 ~population:100 ~crash:(fun ~rank ->
+        let idx = int_of_float (rank *. float_of_int !alive) in
+        decr alive;
+        events := (Engine.now e, idx) :: !events);
+    Engine.run_until e ~time:5.0;
+    (List.rev !events, Faults.crashes f, Faults.partitions_formed f)
+  in
+  let e1, c1, p1 = run () in
+  let e2, c2, p2 = run () in
+  check Alcotest.bool "fire times and ranks identical" true (e1 = e2);
+  check Alcotest.int "crash count identical" c1 c2;
+  check Alcotest.bool "crashes fired" true (c1 > 0);
+  check Alcotest.int "partition count identical" p1 p2;
+  check Alcotest.int "both episodes formed" 2 p1
+
+(* ---- partition cut and heal --------------------------------------------- *)
+
+let test_partition_cut_and_heal () =
+  let f =
+    Faults.create ~seed:8
+      (Faults.churn ~crash_fraction:0.0 ~message_loss:0.0 ~partitions:1
+         ~partition_groups:2 ~partition_duration:0.4 ())
+  in
+  let e = Engine.create () in
+  Faults.arm f e ~horizon:2.0 ~population:64 ~crash:(fun ~rank:_ -> ());
+  check Alcotest.bool "no partition before start" false
+    (Faults.partition_active f);
+  let saw_cut = ref false and saw_drop = ref false and saw_through = ref false in
+  let t = ref 0.0 in
+  while !t < 3.0 do
+    t := !t +. 0.05;
+    Engine.run_until e ~time:!t;
+    if Faults.partition_active f && not !saw_cut then begin
+      (* with 2 groups over 64 ids both sides are inhabited: some pair
+         is cut, some pair is not *)
+      for a = 0 to 63 do
+        for b = a + 1 to 63 do
+          if Faults.cut f ~a ~b && not !saw_cut then begin
+            saw_cut := true;
+            match Faults.send_between f ~src:a ~dst:b with
+            | Faults.Lost -> saw_drop := true
+            | Faults.Delivered _ -> ()
+          end
+          else if (not (Faults.cut f ~a ~b)) && not !saw_through then begin
+            match Faults.send_between f ~src:a ~dst:b with
+            | Faults.Delivered _ -> saw_through := true
+            | Faults.Lost -> ()
+          end
+        done
+      done
+    end
+  done;
+  check Alcotest.int "exactly one episode formed" 1 (Faults.partitions_formed f);
+  check Alcotest.bool "a cross-cut pair exists while active" true !saw_cut;
+  check Alcotest.bool "cross-cut send dropped" true !saw_drop;
+  check Alcotest.bool "same-side send delivered" true !saw_through;
+  check Alcotest.bool "drop counted as partition drop" true
+    (Faults.partition_drops f > 0);
+  check Alcotest.bool "healed after duration" false (Faults.partition_active f)
+
+(* ---- transactional transfer protocol ------------------------------------ *)
+
+(* Heavy duplication: replayed TRANSFERs are recognised by sequence
+   number and dropped; the round still balances and no VS is lost or
+   double-applied. *)
+let test_duplicate_dedup_conserves_vs () =
+  let s = Scenario.build ~seed:13 (small_config 128) in
+  let dht = s.Scenario.dht in
+  let before = Invariants.vs_snapshot dht in
+  let total = Dht.total_load dht in
+  let faults =
+    Faults.create ~seed:13
+      (Faults.churn ~crash_fraction:0.0 ~message_loss:0.0 ~duplicate_prob:0.9
+         ())
+  in
+  check Alcotest.bool "protocol engaged" true (Faults.transfer_protocol faults);
+  let o = Controller.run ~faults s in
+  let v = o.Controller.vst in
+  check Alcotest.bool "transfers committed" true (v.Vst.transfers > 0);
+  check Alcotest.bool "duplicates deduplicated" true (v.Vst.deduped > 0);
+  check Alcotest.int "dedup counter matches the plan's" v.Vst.deduped
+    (Faults.duplicates faults);
+  check Alcotest.int "nothing aborted without loss or crashes" 0 v.Vst.aborted;
+  match Invariants.all ~expected_total:total ~vs_before:before ~crashes:0 dht with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("VS conservation under duplication: " ^ e)
+
+(* Mid-transfer crash windows on nearly every transaction: aborts are
+   attributed per cause, rollbacks leave every surviving VS exactly
+   once, and crash absorption accounts for the disappearances. *)
+let test_transfer_crash_rollback () =
+  let s = Scenario.build ~seed:17 (small_config 128) in
+  let dht = s.Scenario.dht in
+  let before = Invariants.vs_snapshot dht in
+  let total = Dht.total_load dht in
+  let faults =
+    Faults.create ~seed:17
+      (Faults.churn ~crash_fraction:0.0 ~message_loss:0.0 ~transfer_crash:0.9
+         ())
+  in
+  let o = Controller.run ~faults s in
+  let v = o.Controller.vst in
+  check Alcotest.bool "transactions aborted" true (v.Vst.aborted > 0);
+  check Alcotest.int "per-cause counters sum to aborted" v.Vst.aborted
+    (v.Vst.aborted_prepare_lost + v.Vst.aborted_partitioned
+   + v.Vst.aborted_src_crashed + v.Vst.aborted_dest_crashed
+   + v.Vst.aborted_commit_lost);
+  check Alcotest.bool "endpoint crashes injected" true
+    (Faults.transfer_crashes faults > 0);
+  check Alcotest.int "vst saw only window crashes"
+    (Faults.transfer_crashes faults)
+    (v.Vst.aborted_src_crashed + v.Vst.aborted_dest_crashed);
+  match
+    Invariants.all ~expected_total:total ~vs_before:before
+      ~crashes:(Faults.transfer_crashes faults)
+      dht
+  with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("VS conservation under window crashes: " ^ e)
+
+(* ---- no-perturbation digest pins ---------------------------------------- *)
+
+(* Observability digests recorded before the transactional protocol
+   and network faults existed: zero-config runs must still produce
+   these exact bytes.  If a change here is intentional, it is a
+   determinism-contract break and the pins must be re-recorded. *)
+let pin label expected_trace expected_metrics f =
+  let obs = Obs.create () in
+  f obs;
+  check Alcotest.string (label ^ ": trace digest pinned") expected_trace
+    (Trace.digest (Obs.trace obs));
+  check Alcotest.string (label ^ ": metrics digest pinned") expected_metrics
+    (Registry.digest (Obs.metrics obs))
+
+let test_no_perturbation_digest_pins () =
+  pin "zero-fault" "ad12aab800ef68b37b506a5e484d5ea0"
+    "abdc625103ab3a004804ee9b24645fab" (fun obs ->
+      let s = Scenario.build ~seed:3 (small_config 128) in
+      ignore (Controller.run ~obs s));
+  pin "zero-config plan attached" "ad12aab800ef68b37b506a5e484d5ea0"
+    "abdc625103ab3a004804ee9b24645fab" (fun obs ->
+      let s = Scenario.build ~seed:3 (small_config 128) in
+      let faults = Faults.create ~seed:5 Faults.none in
+      ignore (Multiround.run ~faults ~obs ~max_rounds:3 s));
+  pin "legacy churn plan" "4aa0dd7699af0719a305904f83100b53"
+    "97c321b6c375284a65acb5db539d60ff" (fun obs ->
+      let s = Scenario.build ~seed:11 (small_config 128) in
+      let faults =
+        Faults.create ~seed:11 (Faults.churn ~message_loss:0.02 ())
+      in
+      ignore (Multiround.run ~faults ~obs ~max_rounds:3 s))
+
 let () =
   Alcotest.run "faults_integration"
     [
@@ -164,5 +365,23 @@ let () =
           Alcotest.test_case "churn replay determinism" `Quick
             test_churn_replay_determinism;
           Alcotest.test_case "loss-only round" `Quick test_loss_only_round;
+        ] );
+      ( "network faults",
+        [
+          Alcotest.test_case "max_backoff caps only the waiting" `Quick
+            test_max_backoff_cap;
+          Alcotest.test_case "armed schedules replay exactly" `Quick
+            test_arm_schedule_determinism;
+          Alcotest.test_case "partition cut and heal" `Quick
+            test_partition_cut_and_heal;
+        ] );
+      ( "transfer protocol",
+        [
+          Alcotest.test_case "duplication deduped, VS conserved" `Quick
+            test_duplicate_dedup_conserves_vs;
+          Alcotest.test_case "window crashes roll back cleanly" `Quick
+            test_transfer_crash_rollback;
+          Alcotest.test_case "zero-config digests pinned" `Quick
+            test_no_perturbation_digest_pins;
         ] );
     ]

@@ -63,6 +63,49 @@ let test_ring_partition_ok () =
   check Alcotest.bool "partition" true
     (Result.is_ok (Invariants.ring_partition s.Scenario.dht))
 
+(* ---- vs conservation ---------------------------------------------------- *)
+
+(* Balancing moves virtual servers between owners but never creates or
+   destroys one: the snapshot ids all survive a full LB round. *)
+let test_vs_conservation_after_balancing () =
+  let s = Scenario.build ~seed:9 small_config in
+  let dht = s.Scenario.dht in
+  let before = Invariants.vs_snapshot dht in
+  ignore (P2plb.Controller.run s);
+  check Alcotest.bool "owners actually changed" true
+    (not (before = Invariants.vs_snapshot dht));
+  match Invariants.vs_conservation ~before ~crashes:0 dht with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+(* Crash absorption is the only legal way for a VS to vanish: the same
+   disappearance is a violation with a zero crash budget and fine with
+   the budget that explains it. *)
+let test_vs_conservation_crash_budget () =
+  let s = Scenario.build ~seed:10 small_config in
+  let dht = s.Scenario.dht in
+  let before = Invariants.vs_snapshot dht in
+  Scenario.crash_nodes s 1;
+  check Alcotest.bool "a VS was absorbed" true
+    (List.length (Invariants.vs_snapshot dht) < List.length before);
+  (match Invariants.vs_conservation ~before ~crashes:0 dht with
+  | Ok () -> Alcotest.fail "absorbed VS must violate a zero crash budget"
+  | Error _ -> ());
+  match Invariants.vs_conservation ~before ~crashes:1 dht with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+(* A VS id that did not exist at snapshot time is a birth (or a
+   double-apply): never excused, crash budget or not. *)
+let test_vs_conservation_detects_birth () =
+  let s = Scenario.build ~seed:11 small_config in
+  let dht = s.Scenario.dht in
+  let before = Invariants.vs_snapshot dht in
+  Scenario.join_nodes s 1;
+  match Invariants.vs_conservation ~before ~crashes:5 dht with
+  | Ok () -> Alcotest.fail "joined VS must read as a birth"
+  | Error _ -> ()
+
 (* ---- multiround --------------------------------------------------------- *)
 
 let test_multiround_converges_gaussian () =
@@ -167,6 +210,15 @@ let () =
           Alcotest.test_case "detects drift" `Quick
             test_conservation_detects_drift;
           Alcotest.test_case "ring partition" `Quick test_ring_partition_ok;
+        ] );
+      ( "vs conservation",
+        [
+          Alcotest.test_case "survives balancing" `Quick
+            test_vs_conservation_after_balancing;
+          Alcotest.test_case "crash budget" `Quick
+            test_vs_conservation_crash_budget;
+          Alcotest.test_case "detects birth" `Quick
+            test_vs_conservation_detects_birth;
         ] );
       ( "multiround",
         [
