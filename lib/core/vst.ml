@@ -4,6 +4,27 @@ module Graph = P2plb_topology.Graph
 module Histogram = P2plb_metrics.Histogram
 module Faults = P2plb_sim.Faults
 
+(* The transactional protocol's phases, reified so each step has an
+   explicit construction site: the runtime guard below and the R8 lint
+   both key off these constructors.  Ordering is per assignment —
+   Prepare from a fresh state, Transfer after Prepare, Commit after
+   Transfer — and the aborted/rollback paths simply never advance. *)
+type phase = Prepare | Transfer | Commit
+
+let phase_name p =
+  match p with Prepare -> "PREPARE" | Transfer -> "TRANSFER" | Commit -> "COMMIT"
+
+let advance state p =
+  let legal =
+    match (!state, p) with
+    | None, Prepare | Some Prepare, Transfer | Some Transfer, Commit -> true
+    | (None | Some _), _ -> false
+  in
+  if not legal then
+    invalid_arg
+      (Printf.sprintf "Vst.advance: illegal transition to %s" (phase_name p));
+  state := Some p
+
 type result = {
   hist : Histogram.t;
   moved_load : float;
@@ -129,6 +150,8 @@ let apply ?tree ?obs ?faults ~oracle dht assignments =
           commit a v ~hops
         | Some f -> (
           incr seq;
+          let pstate = ref None in
+          advance pstate Prepare;
           (* PREPARE: the heavy owner proposes (vs, seq) to the light
              node; nothing has moved yet, so a drop aborts cleanly. *)
           match Faults.send_between f ~src:a.a_from ~dst:a.a_to with
@@ -159,6 +182,7 @@ let apply ?tree ?obs ?faults ~oracle dht assignments =
                 else false
             in
             if not crashed then begin
+              advance pstate Transfer;
               (* TRANSFER: the VS moves; a duplicated delivery carries
                  the same sequence number and is dropped idempotently
                  instead of re-applying. *)
@@ -174,7 +198,9 @@ let apply ?tree ?obs ?faults ~oracle dht assignments =
                  the heavy owner keeps the right to reclaim, so a lost
                  ack rolls the VS back instead of stranding it. *)
               match Faults.send_between f ~src:a.a_to ~dst:a.a_from with
-              | Faults.Delivered _ -> commit a v ~hops
+              | Faults.Delivered _ ->
+                advance pstate Commit;
+                commit a v ~hops
               | Faults.Lost ->
                 Dht.transfer_vs dht ~vs_id:a.a_vs_id ~to_node:a.a_from;
                 if Faults.cut f ~a:a.a_from ~b:a.a_to then

@@ -36,6 +36,21 @@ module Faults = P2plb_sim.Faults
     the new fault fields at zero are byte-identical to older
     releases. *)
 
+type phase = Prepare | Transfer | Commit
+(** The transactional protocol's steps, reified so each has an
+    explicit construction site (checked statically by p2plint rule R8
+    and dynamically by {!advance}). *)
+
+val phase_name : phase -> string
+(** ["PREPARE"] / ["TRANSFER"] / ["COMMIT"]. *)
+
+val advance : phase option ref -> phase -> unit
+(** Per-assignment protocol-state guard: legal transitions are
+    [None -> Prepare -> Transfer -> Commit].  Raises [Invalid_argument]
+    on any other transition; emits nothing (trace output is
+    unchanged).  Aborted/rolled-back transactions simply never
+    advance past their last completed phase. *)
+
 type result = {
   hist : Histogram.t;  (** moved load, binned by underlay hop distance *)
   moved_load : float;

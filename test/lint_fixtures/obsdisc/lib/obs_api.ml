@@ -1,0 +1,3 @@
+(* R9 fixture: the obs-accepting callee. *)
+
+let emit ?obs msg = match obs with Some f -> f msg | None -> ignore msg

@@ -1,0 +1,14 @@
+(* R9 fixture: two dropped ?obs threads (one to a same-unit callee,
+   one cross-module) and one correct thread. *)
+
+let helper ?obs n = Obs_api.emit ?obs (string_of_int n)
+
+let drops_local ?obs n =
+  ignore obs;
+  helper n
+
+let drops_cross ?obs n =
+  ignore obs;
+  Obs_api.emit (string_of_int n)
+
+let threads_ok ?obs n = helper ?obs n

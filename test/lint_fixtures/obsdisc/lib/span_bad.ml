@@ -1,0 +1,5 @@
+(* R9 fixture: a span opened and never closed — one finding. *)
+
+let leaky t n =
+  Trace.begin_span t "round";
+  n + 1

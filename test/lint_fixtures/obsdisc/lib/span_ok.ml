@@ -1,0 +1,7 @@
+(* R9 fixture: paired span — no finding. *)
+
+let traced t n =
+  Trace.begin_span t "round";
+  let r = n + 1 in
+  Trace.end_span t;
+  r

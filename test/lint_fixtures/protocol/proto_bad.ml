@@ -1,0 +1,10 @@
+(* R8 fixture: out-of-order phase constructions in a phase-defining
+   file — two findings expected. *)
+
+type phase = Prepare | Transfer | Commit
+
+let bad_transfer st = st := Some Transfer
+
+let bad_commit st =
+  st := Some Prepare;
+  st := Some Commit

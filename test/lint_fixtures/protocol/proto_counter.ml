@@ -1,0 +1,10 @@
+(* R8 fixture: a counter variant with no recording site — one finding
+   expected on [aborted_oops]; [transfers] carries no counter prefix
+   and the deref in the record build does not count as recording. *)
+
+type phase = Prepare | Transfer | Commit
+type result = { aborted_oops : int; transfers : int }
+
+let aborted_oops = ref 0
+let transfers = ref 0
+let tally () = { aborted_oops = !aborted_oops; transfers = !transfers }

@@ -1,0 +1,21 @@
+(* R8 fixture: a well-ordered protocol and fully-recorded counters —
+   must produce no findings. *)
+
+type phase = Prepare | Transfer | Commit
+type result = { aborted_lost : int; skipped_gone : int }
+
+let aborted_lost = ref 0
+let skipped_gone = ref 0
+
+let run ok =
+  let st = ref None in
+  st := Some Prepare;
+  if ok then begin
+    st := Some Transfer;
+    st := Some Commit
+  end
+  else incr aborted_lost;
+  ignore !st
+
+let skip () = incr skipped_gone
+let snapshot () = { aborted_lost = !aborted_lost; skipped_gone = !skipped_gone }

@@ -1,0 +1,8 @@
+(* R8 fixture: no phase type here, so bare constructor names are out
+   of scope — but a [Vst.]-qualified construction is checked anywhere.
+   One finding expected (the stray COMMIT). *)
+
+type dir = Transfer of int
+
+let harmless x = Transfer x
+let stray st = st := Some Vst.Commit

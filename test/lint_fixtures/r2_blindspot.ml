@@ -1,0 +1,32 @@
+(* R2 blind-spot fixture: Stdlib-qualified traversals, Hashtbl.Make
+   functor instances and module aliases must all be flagged when the
+   traversal escapes unsorted; a same-binding sort still redeems. *)
+
+module IntTbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash x = x land max_int
+end)
+
+module H = Hashtbl
+
+let stdlib_escape tbl =
+  let acc = ref [] in
+  Stdlib.Hashtbl.iter (fun k v -> acc := (k, v) :: !acc) tbl;
+  !acc
+
+let functor_escape tbl =
+  let acc = ref [] in
+  IntTbl.iter (fun k v -> acc := (k, v) :: !acc) tbl;
+  !acc
+
+let alias_escape tbl =
+  let acc = ref [] in
+  H.iter (fun k v -> acc := (k, v) :: !acc) tbl;
+  !acc
+
+let sorted_ok tbl =
+  let acc = ref [] in
+  Stdlib.Hashtbl.iter (fun k v -> acc := (k, v) :: !acc) tbl;
+  List.sort (fun (a, _) (b, _) -> Int.compare a b) !acc

@@ -1,0 +1,6 @@
+(* R7 fixture entry unit (module name [Controller] makes its
+   functions reachability roots). *)
+
+let entry () =
+  Helper.mid ();
+  Safe.quiet ()

@@ -1,0 +1,3 @@
+(* Middle hop of the R7 taint chain: no ambient source of its own. *)
+
+let mid () = Ambient.leak ()

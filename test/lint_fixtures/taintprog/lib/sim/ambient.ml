@@ -1,0 +1,5 @@
+(* Lives under a [lib/sim/] path, so the per-file R3 rule exempts it —
+   only the whole-program R7 pass can see the leak reach the
+   balancing entry. *)
+
+let leak () = Random.self_init ()

@@ -1,0 +1,6 @@
+(* Reachable from the entry, but the ambient use is suppressed at the
+   source — the taint dies here for every path through it. *)
+
+let quiet () =
+  (* p2plint: allow-impure — fixture: documented one-shot seeding *)
+  Random.self_init ()

@@ -3,6 +3,10 @@
    suppression-comment path. *)
 
 module Lint = P2plint.Lint
+module Callgraph = P2plint.Callgraph
+module Taint = P2plint.Taint
+module Protocol = P2plint.Protocol
+module Report = P2plint.Report
 
 let check = Alcotest.check
 
@@ -35,6 +39,14 @@ let test_r2_sorted_clean () =
 let test_r2_suppressed () =
   check Alcotest.int "reasoned suppressions pass" 0
     (List.length (lint "r2_suppressed.ml"))
+
+let test_r2_blindspots () =
+  let vs = lint "r2_blindspot.ml" in
+  check Alcotest.int "Stdlib./functor-instance/alias traversals flagged" 3
+    (List.length vs);
+  check Alcotest.bool "all are R2" true (all_rule "R2" vs);
+  check Alcotest.bool "sorted escape is redeemed" true
+    (List.for_all (fun v -> v.Lint.v_line < 31) vs)
 
 let test_r2_suppression_needs_reason () =
   let vs = lint "r2_suppressed_noreason.ml" in
@@ -100,14 +112,130 @@ let test_r5_missing_mli () =
       (Filename.basename v.Lint.v_file = "nomli.ml")
   | _ -> Alcotest.fail "expected exactly one violation"
 
+(* ---- R7: interprocedural taint ----------------------------------------- *)
+
+let fixture name = Filename.concat "lint_fixtures" name
+let taintprog () = Callgraph.load [ fixture "taintprog" ]
+
+let test_r7_chain_flagged () =
+  let vs = Taint.analyze (taintprog ()) in
+  check Alcotest.int "exactly the ambient leak" 1 (List.length vs);
+  match vs with
+  | [ v ] ->
+    check Alcotest.string "rule" "R7" v.Lint.v_rule;
+    check Alcotest.bool "located at the source site" true
+      (String.equal (Filename.basename v.Lint.v_file) "ambient.ml");
+    check Alcotest.bool "carries the full 3-hop call path" true
+      (Option.is_some
+         (Lint.find_sub v.Lint.v_msg
+            "Controller.entry -> Helper.mid -> Ambient.leak"))
+  | _ -> Alcotest.fail "expected exactly one violation"
+
+let test_r7_suppressed_at_source () =
+  let vs = Taint.analyze (taintprog ()) in
+  check Alcotest.bool "allow-impure at the source kills the chain" true
+    (List.for_all
+       (fun v -> not (String.equal (Filename.basename v.Lint.v_file) "safe.ml"))
+       vs)
+
+let test_r7_invisible_per_file () =
+  (* the same source file is clean under the per-file rules: its
+     lib/sim/ path is R3-exempt, so only R7 can see the leak *)
+  check Alcotest.int "per-file pass misses the lib/sim source" 0
+    (List.length (lint "taintprog/lib/sim/ambient.ml"))
+
+(* ---- R8: protocol state machine ---------------------------------------- *)
+
+let test_r8 () =
+  let vs = Protocol.analyze (Callgraph.load [ fixture "protocol" ]) in
+  check Alcotest.int "orderings + counter findings" 4 (List.length vs);
+  check Alcotest.bool "all are R8" true (all_rule "R8" vs);
+  let in_file base =
+    List.filter
+      (fun v -> String.equal (Filename.basename v.Lint.v_file) base)
+      vs
+  in
+  check Alcotest.int "well-ordered protocol is clean" 0
+    (List.length (in_file "proto_ok.ml"));
+  check Alcotest.int "Transfer-sans-Prepare and Commit-sans-Transfer" 2
+    (List.length (in_file "proto_bad.ml"));
+  check Alcotest.int "qualified stray COMMIT flagged anywhere" 1
+    (List.length (in_file "proto_qualified.ml"));
+  check Alcotest.int "unrecorded counter variant" 1
+    (List.length (in_file "proto_counter.ml"))
+
+(* ---- R9: obs discipline ------------------------------------------------- *)
+
+let test_r9 () =
+  let vs = Protocol.analyze (Callgraph.load [ fixture "obsdisc" ]) in
+  check Alcotest.int "two dropped ?obs + one leaky span" 3 (List.length vs);
+  check Alcotest.bool "all are R9" true (all_rule "R9" vs);
+  check Alcotest.int "threading and paired spans are clean" 0
+    (List.length
+       (List.filter
+          (fun v ->
+            String.equal (Filename.basename v.Lint.v_file) "span_ok.ml"
+            || String.equal (Filename.basename v.Lint.v_file) "obs_api.ml")
+          vs))
+
+(* ---- finding IDs / JSON / baseline ------------------------------------- *)
+
+let findings () = Report.assign_ids (Report.run_all [ "lint_fixtures" ])
+
+let test_ids_stable_and_unique () =
+  let f1 = findings () and f2 = findings () in
+  check Alcotest.bool "fixtures produce findings" true (List.length f1 > 0);
+  check Alcotest.bool "ids deterministic across runs" true
+    (List.equal
+       (fun a b -> String.equal a.Report.fd_id b.Report.fd_id)
+       f1 f2);
+  let ids = List.map (fun f -> f.Report.fd_id) f1 in
+  check Alcotest.int "ids unique" (List.length ids)
+    (List.length (List.sort_uniq String.compare ids))
+
+let test_json_deterministic () =
+  let run () = Report.to_json (findings ()) in
+  check Alcotest.string "JSON byte-identical across two runs" (run ()) (run ())
+
+let test_baseline_workflow () =
+  let fs = findings () in
+  let json = Report.to_json fs in
+  (match Report.baseline_ids json with
+  | Error e -> Alcotest.fail e
+  | Ok ids ->
+    check Alcotest.int "baseline round-trips every id" (List.length fs)
+      (List.length ids);
+    check Alcotest.int "baseline-covered findings are not new" 0
+      (List.length (List.filter (Report.is_new ~baseline:ids) fs));
+    check Alcotest.int "nothing stale against a fresh baseline" 0
+      (List.length (Report.stale ~baseline:ids fs));
+    let fake = "R0-000000000000" in
+    check Alcotest.bool "a dead id is reported stale" true
+      (List.mem fake (Report.stale ~baseline:(fake :: ids) fs)));
+  match Report.baseline_ids "{}" with
+  | Ok _ -> Alcotest.fail "malformed baseline accepted"
+  | Error _ -> ()
+
+let test_explain () =
+  List.iter
+    (fun r ->
+      match Report.explain r with
+      | Some _ -> ()
+      | None -> Alcotest.fail (Printf.sprintf "no explanation for %s" r))
+    Report.all_rules;
+  check Alcotest.bool "unknown rule has none" true
+    (Option.is_none (Report.explain "R42"))
+
 (* ---- diagnostics format ------------------------------------------------ *)
 
-let diag_re = Str.regexp {|^[^:]+\.ml:[0-9]+: \[R[1-6]\] .+|}
+let diag_re = Str.regexp {|^[^:]+\.ml:[0-9]+: \[R[1-9]\] .+|}
 
 let test_diagnostic_format () =
   let vs =
     lint "r1_bad.ml" @ lint "r3_bad.ml" @ lint "r4_bad.ml"
     @ lint (Filename.concat "lib" "r6_bad.ml")
+    @ Taint.analyze (taintprog ())
+    @ Protocol.analyze (Callgraph.load [ fixture "protocol" ])
   in
   List.iter
     (fun v ->
@@ -143,6 +271,7 @@ let () =
           Alcotest.test_case "suppressed pass" `Quick test_r2_suppressed;
           Alcotest.test_case "suppression needs reason" `Quick
             test_r2_suppression_needs_reason;
+          Alcotest.test_case "blind spots covered" `Quick test_r2_blindspots;
         ] );
       ( "r3-r4",
         [
@@ -158,11 +287,30 @@ let () =
           Alcotest.test_case "suppressed pass" `Quick test_r6_suppressed;
           Alcotest.test_case "outside lib/ pass" `Quick test_r6_outside_lib;
         ] );
+      ( "r7-taint",
+        [
+          Alcotest.test_case "cross-module chain flagged with path" `Quick
+            test_r7_chain_flagged;
+          Alcotest.test_case "suppressed at source" `Quick
+            test_r7_suppressed_at_source;
+          Alcotest.test_case "invisible to per-file pass" `Quick
+            test_r7_invisible_per_file;
+        ] );
+      ( "r8-protocol",
+        [ Alcotest.test_case "phase order + counters" `Quick test_r8 ] );
+      ( "r9-obs",
+        [ Alcotest.test_case "?obs threading + spans" `Quick test_r9 ] );
       ( "report",
         [
           Alcotest.test_case "file:line: [RULE] shape" `Quick
             test_diagnostic_format;
           Alcotest.test_case "run is sorted" `Quick
             test_run_is_sorted_and_nonempty;
+          Alcotest.test_case "ids stable and unique" `Quick
+            test_ids_stable_and_unique;
+          Alcotest.test_case "json deterministic" `Quick
+            test_json_deterministic;
+          Alcotest.test_case "baseline workflow" `Quick test_baseline_workflow;
+          Alcotest.test_case "explain covers every rule" `Quick test_explain;
         ] );
     ]

@@ -1,0 +1,60 @@
+(* Baseline hygiene check.  Usage: [check_baseline BASELINE [path ...]].
+
+   Re-runs the linter over the paths and fails (exit 1) if the
+   baseline contains IDs that no current finding produces — stale
+   entries mask future regressions that happen to hash to the same ID
+   and let the debt ledger rot.  Exit 2 on unreadable/malformed input. *)
+
+let default_paths = [ "lib"; "bin"; "bench"; "test"; "tools"; "examples" ]
+
+let () =
+  let file, paths =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] ->
+      prerr_string "usage: check_baseline BASELINE [path ...]\n";
+      exit 2
+    | file :: [] -> (file, default_paths)
+    | file :: paths -> (file, paths)
+  in
+  if not (Sys.file_exists file) then begin
+    Printf.eprintf "check_baseline: no such file: %s\n" file;
+    exit 2
+  end;
+  let baseline =
+    match P2plint.Report.baseline_ids (P2plint.Lint.read_file file) with
+    | Ok ids -> ids
+    | Error msg ->
+      Printf.eprintf "check_baseline: %s: %s\n" file msg;
+      exit 2
+  in
+  let missing = List.filter (fun p -> not (Sys.file_exists p)) paths in
+  (match missing with
+  | [] -> ()
+  | _ :: _ ->
+    List.iter (Printf.eprintf "check_baseline: no such path: %s\n") missing;
+    exit 2);
+  let viols = P2plint.Report.run_all paths in
+  let findings =
+    P2plint.Report.assign_ids
+      (List.filter
+         (fun (v : P2plint.Lint.violation) ->
+           not (String.equal v.v_rule "PARSE"))
+         viols)
+  in
+  match P2plint.Report.stale ~baseline findings with
+  | [] ->
+    Printf.printf "check_baseline: OK (%d baseline entr%s, none stale)\n"
+      (List.length baseline)
+      (if List.length baseline = 1 then "y" else "ies")
+  | stale ->
+    List.iter
+      (Printf.eprintf
+         "check_baseline: stale baseline entry %s (no current finding)\n")
+      stale;
+    Printf.eprintf
+      "check_baseline: %d stale entr%s in %s — delete them (or regenerate \
+       with p2plint --write-baseline)\n"
+      (List.length stale)
+      (if List.length stale = 1 then "y" else "ies")
+      file;
+    exit 1

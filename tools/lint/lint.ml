@@ -20,7 +20,13 @@ let compare_violation a b =
   match String.compare a.v_file b.v_file with
   | 0 -> (
     match Int.compare a.v_line b.v_line with
-    | 0 -> Int.compare a.v_col b.v_col
+    | 0 -> (
+      match Int.compare a.v_col b.v_col with
+      | 0 -> (
+        match String.compare a.v_rule b.v_rule with
+        | 0 -> String.compare a.v_msg b.v_msg
+        | c -> c)
+      | c -> c)
     | c -> c)
   | c -> c
 
@@ -40,6 +46,9 @@ let rule_of_keyword = function
   | "allow-impure" -> Some "R3"
   | "allow-catchall" -> Some "R4"
   | "allow-r6" -> Some "R6"
+  | "allow-taint" -> Some "R7"
+  | "allow-protocol" -> Some "R8"
+  | "allow-obs" -> Some "R9"
   | _ -> None
 
 let find_sub s sub =
@@ -95,6 +104,24 @@ let scan_suppressions source =
          | None -> ());
   List.rev !out
 
+(* Shared by the whole-program analyses (R7-R9, tools/lint/taint.ml and
+   protocol.ml), whose violations are produced outside [lint_source]
+   and therefore filter themselves.  A violation is suppressed by a
+   reasoned comment for the same rule on its own line or the line
+   above. *)
+let filter_suppressed ~source viols =
+  let sups = scan_suppressions source in
+  List.filter
+    (fun v ->
+      not
+        (List.exists
+           (fun s ->
+             s.s_reason
+             && String.equal s.s_rule v.v_rule
+             && (s.s_line = v.v_line || s.s_line = v.v_line - 1))
+           sups))
+    viols
+
 (* ---- AST checks (R1–R4) ----------------------------------------------- *)
 
 open Parsetree
@@ -112,7 +139,25 @@ let sort_fns =
   [ "sort"; "sort_uniq"; "stable_sort"; "fast_sort" ]
 
 let hashtbl_unordered =
-  [ "iter"; "fold"; "to_seq"; "to_seq_keys"; "to_seq_values" ]
+  [ "iter"; "fold"; "to_seq"; "to_seq_keys"; "to_seq_values";
+    "filter_map_inplace" ]
+
+(* Ambient-nondeterminism sources — the R3 list, factored out so the
+   interprocedural taint pass (R7, tools/lint/taint.ml) shares exactly
+   the same source definition.  Returns the display name of the source
+   when [path] (a flattened longident) is one. *)
+let ambient_source path =
+  let hash_fns = [ "hash"; "seeded_hash"; "hash_param"; "randomize" ] in
+  match path with
+  | "Random" :: _ :: _ | "Stdlib" :: "Random" :: _ :: _ ->
+    Some (String.concat "." path)
+  | [ "Sys"; "time" ] | [ "Stdlib"; "Sys"; "time" ] ->
+    Some (String.concat "." path)
+  | [ "Unix"; ("gettimeofday" | "time") ] -> Some (String.concat "." path)
+  | [ "Hashtbl"; f ] when List.mem f hash_fns -> Some (String.concat "." path)
+  | [ "Stdlib"; "Hashtbl"; f ] when List.mem f hash_fns ->
+    Some (String.concat "." path)
+  | _ -> None
 
 (* R6: libraries must not write to stdout/stderr themselves — rendered
    output flows through [Report]/[Csv] return values and diagnostics
@@ -144,12 +189,54 @@ type ctx = {
   file : string;
   r3_exempt : bool;  (* lib/prng/ and lib/sim/ own randomness & time *)
   in_lib : bool;  (* R6 applies only under lib/ *)
+  hashtbl_mods : string list;
+      (* module names bound to [Hashtbl] (alias) or [Hashtbl.Make]/
+         [MakeSeeded] instances in this file: their traversals are as
+         unordered as the originals (R2) *)
   mutable viols : violation list;
   mutable open_depth : int;  (* inside [M.(...)] / [let open M in ...] *)
   mutable item_depth : int;  (* nesting of structure items *)
   mutable item_sorts : bool;  (* a deterministic sort call was seen *)
   mutable item_pending : violation list;  (* R2 candidates *)
 }
+
+(* Prepass for the R2 blind spots: a file-local [module H = Hashtbl]
+   or [module T = Hashtbl.Make (...)] launders the unordered traversal
+   behind a fresh module name; collect those names so [H.iter] /
+   [T.fold] are held to the same rule. *)
+let collect_hashtbl_mods ast =
+  let out = ref [] in
+  let is_hashtbl_path path =
+    match path with
+    | [ "Hashtbl" ] | [ "Stdlib"; "Hashtbl" ] | [ "MoreLabels"; "Hashtbl" ] ->
+      true
+    | _ -> false
+  in
+  let is_make_path path =
+    match path with
+    | [ "Hashtbl"; ("Make" | "MakeSeeded") ]
+    | [ "Stdlib"; "Hashtbl"; ("Make" | "MakeSeeded") ]
+    | [ "MoreLabels"; "Hashtbl"; ("Make" | "MakeSeeded") ] ->
+      true
+    | _ -> false
+  in
+  let binds_hashtbl (me : module_expr) =
+    match me.pmod_desc with
+    | Pmod_ident { txt; _ } -> is_hashtbl_path (flatten_lid txt)
+    | Pmod_apply ({ pmod_desc = Pmod_ident { txt; _ }; _ }, _) ->
+      is_make_path (flatten_lid txt)
+    | _ -> false
+  in
+  let super = Ast_iterator.default_iterator in
+  let module_binding (iter : Ast_iterator.iterator) mb =
+    (match mb.pmb_name.txt with
+    | Some name when binds_hashtbl mb.pmb_expr -> out := name :: !out
+    | Some _ | None -> ());
+    super.module_binding iter mb
+  in
+  let iter = { super with module_binding } in
+  iter.structure iter ast;
+  List.rev !out
 
 let add ctx (loc : Location.t) rule msg =
   let p = loc.loc_start in
@@ -216,6 +303,22 @@ let check_lid ctx (loc : Location.t) lid ~args =
          "Hashtbl.%s iterates in unspecified order: sort the result, or \
           annotate with (* p2plint: allow-unordered — <reason> *)"
          fn)
+  | [ "Stdlib"; "Hashtbl"; fn ] | [ "MoreLabels"; "Hashtbl"; fn ]
+    when List.mem fn hashtbl_unordered ->
+    pending_r2 ctx loc
+      (Printf.sprintf
+         "%s.%s iterates in unspecified order: sort the result, or annotate \
+          with (* p2plint: allow-unordered — <reason> *)"
+         (String.concat "." (List.filteri (fun i _ -> i < 2) path))
+         fn)
+  | [ m; fn ] when List.mem m ctx.hashtbl_mods && List.mem fn hashtbl_unordered
+    ->
+    pending_r2 ctx loc
+      (Printf.sprintf
+         "%s.%s iterates in unspecified order (%s is a Hashtbl alias or \
+          Hashtbl.Make instance): sort the result, or annotate with \
+          (* p2plint: allow-unordered — <reason> *)"
+         m fn m)
   | [ "Hashtbl"; ("hash" | "seeded_hash" | "hash_param" | "randomize") ] ->
     if not ctx.r3_exempt then
       add ctx loc "R3"
@@ -340,36 +443,39 @@ let r3_exempt_file path =
 let in_lib_file path =
   match find_sub path "lib/" with Some _ -> true | None -> false
 
+let parse_source ~file source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf file;
+  match Parse.implementation lexbuf with
+  | ast -> Ok ast
+  | exception Syntaxerr.Error _ ->
+    Error
+      { v_file = file; v_line = lexbuf.lex_curr_p.pos_lnum; v_col = 0;
+        v_rule = "PARSE"; v_msg = "syntax error" }
+  | exception Lexer.Error (_, loc) ->
+    Error
+      { v_file = file; v_line = loc.loc_start.pos_lnum; v_col = 0;
+        v_rule = "PARSE"; v_msg = "lexer error" }
+
+let parse_file file = parse_source ~file (read_file file)
+
 let lint_source ~file source =
-  let ctx =
-    {
-      file;
-      r3_exempt = r3_exempt_file file;
-      in_lib = in_lib_file file;
-      viols = [];
-      open_depth = 0;
-      item_depth = 0;
-      item_sorts = false;
-      item_pending = [];
-    }
-  in
-  let parsed =
-    let lexbuf = Lexing.from_string source in
-    Location.init lexbuf file;
-    match Parse.implementation lexbuf with
-    | ast -> Ok ast
-    | exception Syntaxerr.Error _ ->
-      Error
-        { v_file = file; v_line = lexbuf.lex_curr_p.pos_lnum; v_col = 0;
-          v_rule = "PARSE"; v_msg = "syntax error" }
-    | exception Lexer.Error (_, loc) ->
-      Error
-        { v_file = file; v_line = loc.loc_start.pos_lnum; v_col = 0;
-          v_rule = "PARSE"; v_msg = "lexer error" }
-  in
-  match parsed with
+  match parse_source ~file source with
   | Error v -> [ v ]
   | Ok ast ->
+    let ctx =
+      {
+        file;
+        r3_exempt = r3_exempt_file file;
+        in_lib = in_lib_file file;
+        hashtbl_mods = collect_hashtbl_mods ast;
+        viols = [];
+        open_depth = 0;
+        item_depth = 0;
+        item_sorts = false;
+        item_pending = [];
+      }
+    in
     let iter = make_iterator ctx in
     iter.structure iter ast;
     let sups = scan_suppressions source in

@@ -40,15 +40,70 @@ type violation = {
   v_file : string;
   v_line : int;
   v_col : int;
-  v_rule : string;  (** "R1".."R6", or "PARSE" for unparseable input *)
+  v_rule : string;  (** "R1".."R9", or "PARSE" for unparseable input *)
   v_msg : string;
 }
 
 val compare_violation : violation -> violation -> int
-(** Order by file, then line, then column — the report order. *)
+(** Order by file, line, column, then rule and message — the report
+    order (total, so [List.sort_uniq] deduplicates exact repeats
+    without collapsing distinct findings at one location). *)
 
 val to_string : violation -> string
 (** Renders ["file:line: [RULE] message"]. *)
+
+(** {1 Shared infrastructure for the whole-program passes}
+
+    [Callgraph], [Taint] and [Protocol] (rules R7-R9) reuse the
+    per-file machinery below so both layers agree on walking, parsing,
+    suppression comments and the ambient-nondeterminism source list. *)
+
+type suppression = {
+  s_line : int;
+  s_rule : string;
+  s_reason : bool;
+  s_kw : string;
+}
+
+val scan_suppressions : string -> suppression list
+(** All [(* p2plint: allow-... *)] comments in a source, in line
+    order.  Keywords: [allow-polycompare] (R1), [allow-unordered]
+    (R2), [allow-impure] (R3), [allow-catchall] (R4), [allow-r6] (R6),
+    [allow-taint] (R7), [allow-protocol] (R8), [allow-obs] (R9). *)
+
+val filter_suppressed : source:string -> violation list -> violation list
+(** Drops violations covered by a reasoned suppression for the same
+    rule on the violation's line or the line above. *)
+
+val find_sub : string -> string -> int option
+(** [find_sub s sub] is the index of the first occurrence of [sub]. *)
+
+val read_file : string -> string
+
+val parse_source :
+  file:string -> string -> (Parsetree.structure, violation) result
+(** Parses one implementation; [Error] carries a single [PARSE]
+    violation (syntax/lexer error with its location). *)
+
+val parse_file : string -> (Parsetree.structure, violation) result
+
+val files_of_path : string -> string list
+(** The [.ml] files under a path (a file, or a directory walked
+    recursively with [_build], [.git], [lint_fixtures] and [results]
+    pruned), in no particular order. *)
+
+val in_lib_file : string -> bool
+(** Whether a path lies under a [lib/] component (scope of R6/R9). *)
+
+val flatten_lid : Longident.t -> string list
+(** ["P2plb_chord.Dht.transfer_vs"] as [["P2plb_chord"; "Dht";
+    "transfer_vs"]]; functor applications keep only the head. *)
+
+val ambient_source : string list -> string option
+(** [Some display_name] when a flattened longident is an
+    ambient-nondeterminism source (the R3/R7 list: [Stdlib.Random],
+    [Sys.time], [Unix.gettimeofday]/[Unix.time], the [Hashtbl.hash]
+    family). *)
 
 val lint_file : string -> violation list
 (** Rules R1–R4 and R6 (plus suppression-comment validation) on one

@@ -1,0 +1,20 @@
+(** R7 — interprocedural nondeterminism taint.
+
+    Reports every ambient-nondeterminism source site (the
+    {!Lint.ambient_source} list: [Stdlib.Random], [Sys.time],
+    [Unix.gettimeofday]/[Unix.time], the [Hashtbl.hash] family —
+    with {e no} directory exemption, unlike per-file R3) whose
+    enclosing function is reachable from the balancing entry units,
+    with the full call path from the entry down to the source in the
+    message.
+
+    A reasoned [(* p2plint: allow-impure — ... *)] (shared with R3) or
+    [(* p2plint: allow-taint — ... *)] comment on the source line or
+    the line above kills the taint at its origin. *)
+
+val default_entries : string list
+(** [["Controller"; "Multiround"; "Vst"; "Chaos"]] — the units whose
+    functions constitute the balancing path. *)
+
+val analyze : ?entries:string list -> Callgraph.t -> Lint.violation list
+(** Sorted R7 violations, located at the source sites. *)
