@@ -30,6 +30,8 @@ module Workload = P2plb_workload.Workload
 module Prng = P2plb_prng.Prng
 module Obs = P2plb_obs.Obs
 module Registry = P2plb_obs.Registry
+module Benchgate = P2plb_obs.Benchgate
+module Multiround = P2plb.Multiround
 module Histogram = P2plb_metrics.Histogram
 module Report = P2plb_metrics.Report
 
@@ -42,17 +44,41 @@ let n_nodes = env_int "P2PLB_NODES" 2048
 let graphs = env_int "P2PLB_GRAPHS" 3
 let seed = env_int "P2PLB_SEED" 1
 
+let rev =
+  match Sys.getenv_opt "P2PLB_REV" with Some r -> r | None -> "dev"
+
 let section title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
 
 (* Every figure run gets its own observability bundle; the registries
-   are summarised in one per-experiment table after the figures. *)
+   are summarised in one per-experiment table after the figures, and
+   each run's cpu/alloc figures plus the simulation-derived convergence
+   metrics land in BENCH_<rev>.json (Benchgate).  The Sys.time reads
+   below are the repo's only wall-clock taint: they never feed back
+   into a simulation, only into the bench record. *)
 let metrics_acc : (string * Obs.t) list ref = ref []
+let experiments_acc : Benchgate.experiment list ref = ref []
+let bench_acc : Benchgate.bench list ref = ref []
 
 let observed name f =
   let obs = Obs.create () in
   metrics_acc := (name, obs) :: !metrics_acc;
-  f obs
+  let a0 = Gc.allocated_bytes () in
+  (* p2plint: allow-impure — bench harness CPU timing, confined to BENCH_<rev>.json *)
+  let t0 = Sys.time () in
+  let r = f obs in
+  (* p2plint: allow-impure — bench harness CPU timing, confined to BENCH_<rev>.json *)
+  let cpu = Sys.time () -. t0 in
+  let alloc = Gc.allocated_bytes () -. a0 in
+  experiments_acc :=
+    {
+      Benchgate.e_name = name;
+      e_cpu_s = cpu;
+      e_alloc_bytes = alloc;
+      e_sim = Benchgate.sim_of_obs obs;
+    }
+    :: !experiments_acc;
+  r
 
 let metrics_table () =
   let row (name, obs) =
@@ -341,6 +367,12 @@ let run_bechamel () =
       rows := (name, est) :: !rows)
     results;
   let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) !rows in
+  bench_acc :=
+    List.filter_map
+      (fun (name, ns) ->
+        if Float.is_nan ns then None
+        else Some { Benchgate.b_name = name; b_ns = ns })
+      sorted;
   List.iter
     (fun (name, ns) ->
       if Float.is_nan ns then Printf.printf "%-36s (no estimate)\n" name
@@ -350,12 +382,75 @@ let run_bechamel () =
       else Printf.printf "%-36s %8.2f ns/run\n" name ns)
     sorted
 
+(* ---- smoke mode & the bench record ------------------------------------- *)
+
+(* One tiny end-to-end experiment (multi-round balancing on a small
+   ring) — enough to populate every field of the bench record so
+   @bench-smoke can validate the schema and pin the sim digest across
+   two runs without paying for the full figure sweep. *)
+let smoke_nodes = env_int "P2PLB_SMOKE_NODES" 256
+
+let smoke () =
+  section (Printf.sprintf "Smoke (multi-round convergence, %d nodes)" smoke_nodes);
+  observed "smoke/convergence" (fun obs ->
+      let s =
+        Scenario.build ~seed { Scenario.default with n_nodes = smoke_nodes }
+      in
+      let r = Multiround.run ~obs ~max_rounds:5 s in
+      Printf.printf "rounds=%d converged=%b moved=%.4g\n"
+        (List.length r.Multiround.rounds)
+        r.Multiround.converged r.Multiround.total_moved)
+
+let emit_json ~smoke path =
+  let file =
+    {
+      Benchgate.f_meta =
+        {
+          Benchgate.m_schema = Benchgate.schema_version;
+          m_rev = rev;
+          m_nodes = (if smoke then smoke_nodes else n_nodes);
+          m_graphs = graphs;
+          m_seed = seed;
+          m_smoke = smoke;
+        };
+      f_experiments = List.rev !experiments_acc;
+      f_benches = !bench_acc;
+    }
+  in
+  Benchgate.write file ~path;
+  Printf.printf "\nwrote %s (%d experiment(s), %d bench(es), sim digest %s)\n"
+    path
+    (List.length file.Benchgate.f_experiments)
+    (List.length file.Benchgate.f_benches)
+    (Benchgate.sim_digest file)
+
+(* Value-taking flag: "--json-out PATH"; flags: --smoke, --no-json. *)
+let arg_value name =
+  let rec go i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if String.equal Sys.argv.(i) name then Some Sys.argv.(i + 1)
+    else go (i + 1)
+  in
+  go 1
+
 let () =
-  let skip_figures = Array.exists (String.equal "--bench-only") Sys.argv in
-  let skip_bench = Array.exists (String.equal "--figures-only") Sys.argv in
+  let flag name = Array.exists (String.equal name) Sys.argv in
+  let skip_figures = flag "--bench-only" in
+  let skip_bench = flag "--figures-only" in
+  let smoke_only = flag "--smoke" in
+  let no_json = flag "--no-json" in
+  let json_path =
+    match arg_value "--json-out" with
+    | Some p -> p
+    | None -> Printf.sprintf "BENCH_%s.json" rev
+  in
   Printf.printf
     "p2plb bench harness — nodes=%d graphs=%d seed=%d (override with \
      P2PLB_NODES / P2PLB_GRAPHS / P2PLB_SEED)\n"
     n_nodes graphs seed;
-  if not skip_figures then figures ();
-  if not skip_bench then run_bechamel ()
+  if smoke_only then smoke ()
+  else begin
+    if not skip_figures then figures ();
+    if not skip_bench then run_bechamel ()
+  end;
+  if not no_json then emit_json ~smoke:smoke_only json_path

@@ -8,6 +8,8 @@ module Obs = P2plb_obs.Obs
 module Trace = P2plb_obs.Trace
 module Registry = P2plb_obs.Registry
 module Summary = P2plb_obs.Summary
+module Spantree = P2plb_obs.Spantree
+module Timeseries = P2plb_obs.Timeseries
 
 open Cmdliner
 
@@ -48,8 +50,19 @@ let metrics_out_arg =
   Arg.(
     value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
+let series_out_arg =
+  let doc =
+    "Write the run's per-round load time-series (JSONL, one sample per \
+     balancing round, digest-stable) to $(docv).  Render or gate on it with \
+     $(b,lb_sim convergence)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "series-out" ] ~docv:"FILE" ~doc)
+
 let sink_arg =
-  Term.(const (fun t m -> (t, m)) $ trace_out_arg $ metrics_out_arg)
+  Term.(
+    const (fun t m s -> (t, m, s))
+    $ trace_out_arg $ metrics_out_arg $ series_out_arg)
 
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
@@ -60,11 +73,13 @@ let rec mkdir_p dir =
 (* Runs [f] with an observability bundle when either sink is requested
    and flushes the sinks afterwards (even if [f] raises), creating
    target directories as needed. *)
-let sinked f (trace_out, metrics_out) =
-  match (trace_out, metrics_out) with
-  | None, None -> f None
+let sinked f (trace_out, metrics_out, series_out) =
+  match (trace_out, metrics_out, series_out) with
+  | None, None, None -> f None
   | _ ->
-    let obs = Obs.create () in
+    (* CLI-recorded traces speak schema v2 (parent ids + round spans);
+       trace-summary and trace-analyze accept both versions. *)
+    let obs = Obs.create ~trace_version:2 () in
     Fun.protect
       ~finally:(fun () ->
         let flush_to path write =
@@ -77,7 +92,10 @@ let sinked f (trace_out, metrics_out) =
           trace_out;
         Option.iter
           (fun p -> flush_to p (Registry.write (Obs.metrics obs)))
-          metrics_out)
+          metrics_out;
+        Option.iter
+          (fun p -> flush_to p (Timeseries.write (Obs.series obs)))
+          series_out)
       (fun () -> f (Some obs))
 
 let dump_proximity_csv dir name (r : E.proximity_result) =
@@ -323,7 +341,7 @@ let run_ablations seed n sinks =
 let run_all seed graphs n sinks =
   sinked (fun obs -> do_all obs seed graphs n) sinks
 
-(* ---- trace-summary ----------------------------------------------------- *)
+(* ---- trace analytics ---------------------------------------------------- *)
 
 let run_trace_summary file =
   match Trace.load_jsonl file with
@@ -332,9 +350,60 @@ let run_trace_summary file =
     prerr_endline ("trace-summary: " ^ e);
     exit 1
 
+(* A plain [string] positional, not cmdliner's [file] converter: the
+   converter rejects a missing path with its own exit code (124) before
+   our code runs, while the contract here is exit 1 with a one-line
+   diagnostic for missing and truncated inputs alike. *)
 let trace_file_arg =
   let doc = "Trace to render (JSONL, as written by $(b,--trace-out))." in
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+
+let run_trace_analyze file phase round json =
+  match Trace.load_jsonl file with
+  | Error e ->
+    prerr_endline ("trace-analyze: " ^ e);
+    exit 1
+  | Ok evs -> (
+    match Spantree.of_events evs with
+    | Error e ->
+      prerr_endline ("trace-analyze: " ^ e);
+      exit 1
+    | Ok forest ->
+      if json then print_string (Spantree.to_jsonl ?phase ?round forest)
+      else print_string (Spantree.render ?phase ?round forest))
+
+(* ---- convergence -------------------------------------------------------- *)
+
+let run_convergence seed n_nodes max_rounds epsilon_rel chaos_seed json
+    series_out =
+  let module Scenario = P2plb.Scenario in
+  let module Controller = P2plb.Controller in
+  let module Multiround = P2plb.Multiround in
+  let module Faults = P2plb_sim.Faults in
+  let obs = Obs.create ~trace_version:2 () in
+  let config = { Controller.default with Controller.epsilon_rel } in
+  let faults =
+    Option.map
+      (fun cs -> Faults.create ~seed:cs (Chaos.derive_config ~seed:cs))
+      chaos_seed
+  in
+  let s = Scenario.build ~seed { Scenario.default with Scenario.n_nodes } in
+  let (_ : Multiround.result) =
+    Multiround.run ~config ?faults ~obs ~max_rounds s
+  in
+  let series = Obs.series obs in
+  let samples = Timeseries.samples series in
+  if json then print_string (Timeseries.jsonl_of_samples samples)
+  else begin
+    print_string (Timeseries.render samples);
+    Printf.printf "series digest: %s\n" (Timeseries.digest series)
+  end;
+  Option.iter
+    (fun path ->
+      mkdir_p (Filename.dirname path);
+      Timeseries.write series ~path;
+      Printf.eprintf "wrote %s\n" path)
+    series_out
 
 (* ---- command set ------------------------------------------------------- *)
 
@@ -435,6 +504,60 @@ let trace_summary_cmd =
      and the hop-cost distribution reconstructed from vst/transfer events."
     Term.(const run_trace_summary $ trace_file_arg)
 
+let trace_analyze_cmd =
+  let phase_arg =
+    let doc = "Keep only spans named $(docv) (e.g. $(b,phase/vst))." in
+    Arg.(
+      value & opt (some string) None & info [ "phase" ] ~docv:"NAME" ~doc)
+  in
+  let round_arg =
+    let doc = "Keep only balancing round $(docv)." in
+    Arg.(value & opt (some int) None & info [ "round" ] ~docv:"R" ~doc)
+  in
+  let json_arg =
+    let doc =
+      "Emit the machine-readable JSONL report (byte-stable) instead of \
+       tables."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  cmd "trace-analyze"
+    "Reconstruct the span forest from a recorded trace and report per-round \
+     critical paths and per-phase simulated-time breakdowns."
+    Term.(
+      const run_trace_analyze $ trace_file_arg $ phase_arg $ round_arg
+      $ json_arg)
+
+let convergence_cmd =
+  let rounds_arg =
+    let doc = "Maximum balancing rounds." in
+    Arg.(value & opt int 10 & info [ "rounds" ] ~docv:"R" ~doc)
+  in
+  let epsilon_arg =
+    let doc = "Relative balance slack: converged once max/avg <= 1+$(docv)." in
+    Arg.(
+      value & opt float 0.05 & info [ "epsilon-rel" ] ~docv:"EPS" ~doc)
+  in
+  let chaos_arg =
+    let doc =
+      "Run under the chaos fault mix derived from $(docv) (same derivation \
+       as $(b,lb_sim chaos))."
+    in
+    Arg.(
+      value & opt (some int) None & info [ "chaos-seed" ] ~docv:"SEED" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the raw sample JSONL (byte-stable) instead of tables." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  cmd "convergence"
+    "Run multi-round balancing and report the per-round load time-series \
+     (max/avg utilization, Gini, overloaded fraction, cumulative moved load) \
+     plus the convergence verdict."
+    Term.(
+      const run_convergence $ seed_arg $ nodes_arg 4096 $ rounds_arg
+      $ epsilon_arg $ chaos_arg $ json_arg $ series_out_arg)
+
 let () =
   let info =
     Cmd.info "lb_sim" ~version:"1.0.0"
@@ -462,6 +585,8 @@ let () =
         ablations_cmd;
         all_cmd;
         trace_summary_cmd;
+        trace_analyze_cmd;
+        convergence_cmd;
       ]
   in
   exit (Cmd.eval group)

@@ -220,10 +220,24 @@ let run ?(config = default) ?faults ?engine ?obs (s : Scenario.t) =
         ("deduped", P2plb_obs.Trace.Int vst.Vst.deduped);
       ]
     | _ -> []);
-  (* Round-level registry series and engine profiling snapshot. *)
+  let unit_loads_after = Scenario.unit_loads s in
+  (* Round-level registry series, the per-round load snapshot for the
+     convergence time-series, and the engine profiling snapshot.  The
+     snapshot goes to the bundle's series sink (not the trace), so
+     trace/metrics digest pins are unaffected. *)
   (match obs with
   | None -> ()
   | Some o ->
+    let fair =
+      if Float.compare lbi.Types.c 0.0 > 0 then lbi.Types.l /. lbi.Types.c
+      else 0.0
+    in
+    ignore
+      (P2plb_obs.Timeseries.record (P2plb_obs.Obs.series o)
+         ~round:(int_of_float round_start)
+         ~time:(round_start +. 1.0)
+         ~epsilon:config.epsilon_rel ~unit_loads:unit_loads_after ~fair
+         ~moved:vst.Vst.moved_load ~total_load:lbi.Types.l);
     let m = P2plb_obs.Obs.metrics o in
     P2plb_obs.Registry.add (P2plb_obs.Registry.counter m "round/rounds") 1;
     P2plb_obs.Registry.add
@@ -257,7 +271,7 @@ let run ?(config = default) ?faults ?engine ?obs (s : Scenario.t) =
     vsa_rounds = vsa.Vsa.rounds;
     tree_messages = Ktree.messages tree;
     unit_loads_before;
-    unit_loads_after = Scenario.unit_loads s;
+    unit_loads_after;
     retries = retries1 - retries0;
     timeouts = timeouts1 - timeouts0;
     kt_repairs = Ktree.repairs tree;

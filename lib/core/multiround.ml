@@ -76,7 +76,34 @@ let run ?(config = Controller.default) ?faults ?obs ?(max_rounds = 10) ?check
       (Faults.crashes f, Faults.transfer_crashes f, Faults.partitions_formed f)
     | None -> (0, 0, 0)
   in
+  (* Round spans wrap each controller round so the span forest groups
+     phases under their round.  Gated on trace schema v2: v1 traces
+     stay byte-identical to their digest pins. *)
+  let begin_round index =
+    match obs with
+    | Some o
+      when P2plb_obs.Trace.version (P2plb_obs.Obs.trace o) >= 2 ->
+      Some
+        (P2plb_obs.Trace.begin_span (P2plb_obs.Obs.trace o)
+           ~attrs:[ ("index", P2plb_obs.Trace.Int index) ]
+           "round")
+    | _ -> None
+  in
+  let end_round sp (r : round) =
+    match (obs, sp) with
+    | Some o, Some sp ->
+      P2plb_obs.Trace.end_span (P2plb_obs.Obs.trace o)
+        ~attrs:
+          [
+            ("heavy", P2plb_obs.Trace.Int r.heavy_after);
+            ("transfers", P2plb_obs.Trace.Int r.transfers);
+            ("moved_load", P2plb_obs.Trace.Float r.moved_load);
+          ]
+        sp
+    | _ -> ()
+  in
   let rec go index acc total =
+    let round_sp = begin_round index in
     let o = Controller.run ~config ?faults ?engine ?obs scenario in
     (* Drain this round's remaining fault events (e.g. crashes armed
        in the last 30% of the round's time slice). *)
@@ -102,6 +129,7 @@ let run ?(config = Controller.default) ?faults ?obs ?(max_rounds = 10) ?check
         timeouts = o.Controller.timeouts;
       }
     in
+    end_round round_sp r;
     let violation =
       match check with
       | None -> None

@@ -39,10 +39,16 @@ let cumulative_fraction t b =
     !acc /. t.sum
   end
 
+(* Total: empty histograms answer -1 for every p; NaN and
+   out-of-range p are clamped into [0, 100] (NaN to 100).  p = 0
+   lands on the first non-empty bin (the target weight 0 is reached
+   immediately), p = 100 on the last. *)
 let percentile_bin t p =
-  if p < 0.0 || p > 100.0 then invalid_arg "Histogram.percentile_bin: p outside [0, 100]";
   if t.sum <= 0.0 then -1
   else begin
+    let p =
+      if Float.is_nan p then 100.0 else Float.max 0.0 (Float.min 100.0 p)
+    in
     let target = p /. 100.0 *. t.sum in
     let acc = ref 0.0 and b = ref (-1) in
     (try

@@ -27,8 +27,14 @@ val cumulative_fraction : t -> int -> float
 
 val percentile_bin : t -> float -> int
 (** [percentile_bin t p] is the smallest non-empty bin at or below
-    which at least [p]% of the total weight lies ([p] in [\[0, 100\]]);
-    [-1] if the histogram is empty. *)
+    which at least [p]% of the total weight lies.
+
+    Total on every input: an empty histogram answers [-1] for every
+    [p]; [p] outside [\[0, 100\]] is clamped into the range (and NaN
+    reads as 100, the conservative end).  [p = 0] is the first
+    non-empty bin, [p = 100] the last — so [percentile_bin t 0.0] /
+    [percentile_bin t 100.0] bracket the support of a non-empty
+    histogram. *)
 
 val bins : t -> (int * float) list
 (** Non-empty bins in increasing order with their weights. *)

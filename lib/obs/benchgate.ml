@@ -1,0 +1,353 @@
+(* Machine-readable bench records (BENCH_<rev>.json) and the
+   regression gate that compares two of them.
+
+   The file is JSONL built on the trace sink's flat-object subset:
+   one "meta" line, one "experiment" line per observed experiment, and
+   one "bench" line per bechamel micro-benchmark.  Simulation-derived
+   fields (rounds, transfers, messages, convergence round, final
+   ratio, series digest) are deterministic for a given seed — the
+   @bench-smoke alias checks they are byte-identical across two runs —
+   while cpu/alloc figures are the only wall-clock-tainted values in
+   the repo and never feed back into a simulation (DESIGN.md §11). *)
+
+let schema_version = 1
+
+type sim = {
+  sm_rounds : int;
+  sm_conv_round : int; (* -1 = did not converge *)
+  sm_final_ratio : float;
+  sm_moved_frac : float;
+  sm_transfers : int;
+  sm_messages : int;
+  sm_series_digest : string;
+}
+
+type experiment = {
+  e_name : string;
+  e_cpu_s : float;
+  e_alloc_bytes : float;
+  e_sim : sim;
+}
+
+type bench = { b_name : string; b_ns : float }
+
+type meta = {
+  m_schema : int;
+  m_rev : string;
+  m_nodes : int;
+  m_graphs : int;
+  m_seed : int;
+  m_smoke : bool;
+}
+
+type file = {
+  f_meta : meta;
+  f_experiments : experiment list;
+  f_benches : bench list;
+}
+
+(* ---- deriving sim figures from a finished run -------------------------- *)
+
+let sim_of_obs obs =
+  let metrics = Obs.metrics obs in
+  let series = Obs.series obs in
+  let samples = Timeseries.samples series in
+  let counter name =
+    match Registry.find_counter metrics name with Some n -> n | None -> 0
+  in
+  let conv_round, final_ratio, moved_frac =
+    match Timeseries.convergence samples with
+    | Timeseries.No_data -> (-1, 0.0, 0.0)
+    | Timeseries.Converged { c_round; c_ratio; c_moved_frac } ->
+      (c_round, c_ratio, c_moved_frac)
+    | Timeseries.Not_converged { n_final_ratio; _ } -> (
+      ( -1,
+        n_final_ratio,
+        match List.rev samples with
+        | last :: _ when Float.compare last.Timeseries.ts_load 0.0 > 0 ->
+          last.Timeseries.ts_cum /. last.Timeseries.ts_load
+        | _ -> 0.0 ))
+  in
+  {
+    sm_rounds = List.length samples;
+    sm_conv_round = conv_round;
+    sm_final_ratio = final_ratio;
+    sm_moved_frac = moved_frac;
+    sm_transfers = counter "vst/transfers";
+    sm_messages = counter "round/messages";
+    sm_series_digest = Timeseries.digest series;
+  }
+
+(* ---- encoding ---------------------------------------------------------- *)
+
+let fts = Trace.float_to_string
+
+let to_json f =
+  let buf = Buffer.create 1024 in
+  let m = f.f_meta in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"k\":\"meta\",\"schema\":%d,\"rev\":\"%s\",\"nodes\":%d,\"graphs\":%d,\"seed\":%d,\"smoke\":%b}\n"
+       m.m_schema m.m_rev m.m_nodes m.m_graphs m.m_seed m.m_smoke);
+  List.iter
+    (fun e ->
+      let s = e.e_sim in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"k\":\"experiment\",\"name\":\"%s\",\"cpu_s\":%s,\"alloc_bytes\":%s,\"rounds\":%d,\"conv_round\":%d,\"final_ratio\":%s,\"moved_frac\":%s,\"transfers\":%d,\"messages\":%d,\"series_digest\":\"%s\"}\n"
+           e.e_name (fts e.e_cpu_s) (fts e.e_alloc_bytes) s.sm_rounds
+           s.sm_conv_round (fts s.sm_final_ratio) (fts s.sm_moved_frac)
+           s.sm_transfers s.sm_messages s.sm_series_digest))
+    f.f_experiments;
+  List.iter
+    (fun b ->
+      Buffer.add_string buf
+        (Printf.sprintf "{\"k\":\"bench\",\"name\":\"%s\",\"ns\":%s}\n" b.b_name
+           (fts b.b_ns)))
+    f.f_benches;
+  Buffer.contents buf
+
+let write f ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_json f))
+
+(* ---- decoding ---------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let scalar fields k =
+  match List.assoc_opt k fields with
+  | Some (Trace.Scalar v) -> Ok v
+  | Some (Trace.Nested _) -> Error (Printf.sprintf "field %S is nested" k)
+  | None -> Error (Printf.sprintf "missing field %S" k)
+
+let num fields k =
+  let* v = scalar fields k in
+  match v with
+  | Trace.Int i -> Ok (float_of_int i)
+  | Trace.Float f -> Ok f
+  | Trace.Bool _ | Trace.Str _ ->
+    Error (Printf.sprintf "field %S is not a number" k)
+
+let int_field fields k = Result.map int_of_float (num fields k)
+
+let str fields k =
+  let* v = scalar fields k in
+  match v with
+  | Trace.Str s -> Ok s
+  | Trace.Int _ | Trace.Float _ | Trace.Bool _ ->
+    Error (Printf.sprintf "field %S is not a string" k)
+
+let bool_field fields k =
+  let* v = scalar fields k in
+  match v with
+  | Trace.Bool b -> Ok b
+  | Trace.Int _ | Trace.Float _ | Trace.Str _ ->
+    Error (Printf.sprintf "field %S is not a boolean" k)
+
+let meta_of_fields fields =
+  let* m_schema = int_field fields "schema" in
+  let* m_rev = str fields "rev" in
+  let* m_nodes = int_field fields "nodes" in
+  let* m_graphs = int_field fields "graphs" in
+  let* m_seed = int_field fields "seed" in
+  let* m_smoke = bool_field fields "smoke" in
+  Ok { m_schema; m_rev; m_nodes; m_graphs; m_seed; m_smoke }
+
+let experiment_of_fields fields =
+  let* e_name = str fields "name" in
+  let* e_cpu_s = num fields "cpu_s" in
+  let* e_alloc_bytes = num fields "alloc_bytes" in
+  let* sm_rounds = int_field fields "rounds" in
+  let* sm_conv_round = int_field fields "conv_round" in
+  let* sm_final_ratio = num fields "final_ratio" in
+  let* sm_moved_frac = num fields "moved_frac" in
+  let* sm_transfers = int_field fields "transfers" in
+  let* sm_messages = int_field fields "messages" in
+  let* sm_series_digest = str fields "series_digest" in
+  Ok
+    {
+      e_name;
+      e_cpu_s;
+      e_alloc_bytes;
+      e_sim =
+        {
+          sm_rounds;
+          sm_conv_round;
+          sm_final_ratio;
+          sm_moved_frac;
+          sm_transfers;
+          sm_messages;
+          sm_series_digest;
+        };
+    }
+
+let bench_of_fields fields =
+  let* b_name = str fields "name" in
+  let* b_ns = num fields "ns" in
+  Ok { b_name; b_ns }
+
+let parse source =
+  let lines = String.split_on_char '\n' source in
+  let rec go lineno meta exps benches = function
+    | [] -> (
+      match meta with
+      | Some m ->
+        Ok
+          { f_meta = m; f_experiments = List.rev exps; f_benches = List.rev benches }
+      | None -> Error "no \"meta\" record")
+    | "" :: rest -> go (lineno + 1) meta exps benches rest
+    | line :: rest -> (
+      let result =
+        let* fields = Trace.parse_flat_line line in
+        let* kind = str fields "k" in
+        match kind with
+        | "meta" -> Result.map (fun m -> `Meta m) (meta_of_fields fields)
+        | "experiment" ->
+          Result.map (fun e -> `Experiment e) (experiment_of_fields fields)
+        | "bench" -> Result.map (fun b -> `Bench b) (bench_of_fields fields)
+        | k -> Error (Printf.sprintf "unknown record kind %S" k)
+      in
+      match result with
+      | Ok (`Meta m) -> (
+        match meta with
+        | None -> go (lineno + 1) (Some m) exps benches rest
+        | Some _ -> Error (Printf.sprintf "line %d: duplicate meta" lineno))
+      | Ok (`Experiment e) -> go (lineno + 1) meta (e :: exps) benches rest
+      | Ok (`Bench b) -> go (lineno + 1) meta exps (b :: benches) rest
+      | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+  in
+  go 1 None [] [] lines
+
+let load path =
+  match open_in_bin path with
+  | ic ->
+    let source =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    parse source
+  | exception Sys_error msg -> Error msg
+
+let validate f =
+  if f.f_meta.m_schema <> schema_version then
+    Error
+      (Printf.sprintf "schema version %d (this tool speaks %d)"
+         f.f_meta.m_schema schema_version)
+  else if List.length f.f_experiments = 0 then Error "no experiment records"
+  else Ok ()
+
+(* Digest over the deterministic (simulation-derived) fields only, so
+   two runs of the same revision agree byte-for-byte even though
+   cpu/alloc differ. *)
+let sim_digest f =
+  let line e =
+    let s = e.e_sim in
+    Printf.sprintf "%s %d %d %s %s %d %d %s" e.e_name s.sm_rounds
+      s.sm_conv_round (fts s.sm_final_ratio) (fts s.sm_moved_frac)
+      s.sm_transfers s.sm_messages s.sm_series_digest
+  in
+  Digest.to_hex
+    (Digest.string (String.concat "\n" (List.map line f.f_experiments)))
+
+(* ---- the gate ---------------------------------------------------------- *)
+
+type gate = {
+  g_max_regress_pct : float;
+  g_cpu_floor_s : float; (* ignore cpu comparisons below this baseline *)
+  g_alloc_floor_bytes : float;
+  g_ns_floor : float;
+}
+
+let default_gate =
+  {
+    g_max_regress_pct = 30.0;
+    g_cpu_floor_s = 0.02;
+    g_alloc_floor_bytes = 1_000_000.0;
+    g_ns_floor = 100.0;
+  }
+
+type report = { rp_checked : int; rp_regressions : string list }
+
+let pct_over ~base ~cur =
+  if Float.compare base 0.0 <= 0 then 0.0
+  else ((cur /. base) -. 1.0) *. 100.0
+
+let diff gate ~baseline ~current =
+  let regress = ref [] in
+  let checked = ref 0 in
+  let flag fmt = Printf.ksprintf (fun s -> regress := s :: !regress) fmt in
+  let over base cur = Float.compare (pct_over ~base ~cur) gate.g_max_regress_pct > 0 in
+  List.iter
+    (fun (b : experiment) ->
+      match
+        List.find_opt
+          (fun (c : experiment) -> String.equal c.e_name b.e_name)
+          current.f_experiments
+      with
+      | None -> flag "experiment '%s' missing from current run" b.e_name
+      | Some c ->
+        incr checked;
+        if Float.compare b.e_cpu_s gate.g_cpu_floor_s >= 0 && over b.e_cpu_s c.e_cpu_s
+        then
+          flag "%s: cpu %ss -> %ss (+%.1f%% > %.0f%%)" b.e_name
+            (fts b.e_cpu_s) (fts c.e_cpu_s)
+            (pct_over ~base:b.e_cpu_s ~cur:c.e_cpu_s)
+            gate.g_max_regress_pct;
+        if
+          Float.compare b.e_alloc_bytes gate.g_alloc_floor_bytes >= 0
+          && over b.e_alloc_bytes c.e_alloc_bytes
+        then
+          flag "%s: alloc %s -> %s bytes (+%.1f%% > %.0f%%)" b.e_name
+            (fts b.e_alloc_bytes) (fts c.e_alloc_bytes)
+            (pct_over ~base:b.e_alloc_bytes ~cur:c.e_alloc_bytes)
+            gate.g_max_regress_pct;
+        let bs = b.e_sim and cs = c.e_sim in
+        if bs.sm_conv_round >= 0 && cs.sm_conv_round < 0 then
+          flag "%s: no longer converges (baseline round %d)" b.e_name
+            bs.sm_conv_round
+        else if bs.sm_conv_round >= 0 && cs.sm_conv_round > bs.sm_conv_round
+        then
+          flag "%s: converges later (round %d -> %d)" b.e_name
+            bs.sm_conv_round cs.sm_conv_round;
+        if
+          over
+            (float_of_int bs.sm_transfers)
+            (float_of_int cs.sm_transfers)
+        then
+          flag "%s: transfers %d -> %d (+%.1f%% > %.0f%%)" b.e_name
+            bs.sm_transfers cs.sm_transfers
+            (pct_over
+               ~base:(float_of_int bs.sm_transfers)
+               ~cur:(float_of_int cs.sm_transfers))
+            gate.g_max_regress_pct;
+        if
+          over (float_of_int bs.sm_messages) (float_of_int cs.sm_messages)
+        then
+          flag "%s: messages %d -> %d (+%.1f%% > %.0f%%)" b.e_name
+            bs.sm_messages cs.sm_messages
+            (pct_over
+               ~base:(float_of_int bs.sm_messages)
+               ~cur:(float_of_int cs.sm_messages))
+            gate.g_max_regress_pct)
+    baseline.f_experiments;
+  List.iter
+    (fun (b : bench) ->
+      match
+        List.find_opt
+          (fun (c : bench) -> String.equal c.b_name b.b_name)
+          current.f_benches
+      with
+      | None -> () (* bench sets may shrink in smoke runs *)
+      | Some c ->
+        incr checked;
+        if Float.compare b.b_ns gate.g_ns_floor >= 0 && over b.b_ns c.b_ns then
+          flag "%s: %sns -> %sns (+%.1f%% > %.0f%%)" b.b_name (fts b.b_ns)
+            (fts c.b_ns)
+            (pct_over ~base:b.b_ns ~cur:c.b_ns)
+            gate.g_max_regress_pct)
+    baseline.f_benches;
+  { rp_checked = !checked; rp_regressions = List.rev !regress }

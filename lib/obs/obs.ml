@@ -1,6 +1,12 @@
-type t = { trace : Trace.t; metrics : Registry.t }
+type t = { trace : Trace.t; metrics : Registry.t; series : Timeseries.t }
 
-let create () = { trace = Trace.create (); metrics = Registry.create () }
+let create ?trace_version () =
+  let trace = Trace.create () in
+  (match trace_version with
+  | Some v -> Trace.set_version trace v
+  | None -> ());
+  { trace; metrics = Registry.create (); series = Timeseries.create () }
 
 let trace t = t.trace
 let metrics t = t.metrics
+let series t = t.series

@@ -1,14 +1,18 @@
 (** The observability bundle threaded through a load-balancing round.
 
-    One {!Trace.t} (ordered events in simulated time) plus one
-    {!Registry.t} (named aggregate series).  Instrumented subsystems
-    accept [?obs:Obs.t]; [None] is the zero-overhead default and every
+    One {!Trace.t} (ordered events in simulated time), one
+    {!Registry.t} (named aggregate series) and one {!Timeseries.t}
+    (per-round load snapshots).  Instrumented subsystems accept
+    [?obs:Obs.t]; [None] is the zero-overhead default and every
     instrumentation site degrades to a no-op, so un-observed runs are
     byte-identical to pre-instrumentation ones. *)
 
-type t = { trace : Trace.t; metrics : Registry.t }
+type t = { trace : Trace.t; metrics : Registry.t; series : Timeseries.t }
 
-val create : unit -> t
+val create : ?trace_version:int -> unit -> t
+(** [?trace_version] selects the trace sink schema (see
+    {!Trace.set_version}); the default is the digest-pinned v1. *)
 
 val trace : t -> Trace.t
 val metrics : t -> Registry.t
+val series : t -> Timeseries.t

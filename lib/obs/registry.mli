@@ -10,7 +10,12 @@ module Histogram = P2plb_metrics.Histogram
 
     Histograms are {!P2plb_metrics.Histogram} values, so everything
     that already consumes them (CSV export, CDF rendering, percentile
-    bins) works on registry series unchanged. *)
+    bins) works on registry series unchanged.  In particular
+    [Histogram.percentile_bin] is total: empty series answer [-1] for
+    every percentile, NaN and out-of-range percentiles are clamped
+    into [\[0, 100\]], [p = 0] is the first non-empty bin and
+    [p = 100] the last — report code can query registry histograms
+    without guarding against partial inputs. *)
 
 type t
 

@@ -1,0 +1,315 @@
+module Report = P2plb_metrics.Report
+
+(* Span-forest reconstruction and critical-path analytics over a
+   trace's event list.  Works on both schema versions: v2 events carry
+   explicit parent ids (validated against the replayed open-span set);
+   v1 events derive parents by replaying the begin/end stack exactly as
+   Trace recorded it.  All outputs are deterministic — ordering comes
+   from event order, never from hash-table traversal. *)
+
+type node = {
+  nd_id : int;
+  nd_name : string;
+  nd_parent : int;
+  nd_t0 : float;
+  nd_t1 : float;
+  nd_attrs : (string * Trace.value) list;
+  nd_points : int;
+  nd_children : node list;
+}
+
+type builder = {
+  b_id : int;
+  b_name : string;
+  b_parent : int;
+  b_t0 : float;
+  mutable b_t1 : float;
+  mutable b_closed : bool;
+  mutable b_attrs : (string * Trace.value) list; (* reversed *)
+  mutable b_children : builder list; (* reversed, begin order *)
+  mutable b_points : int;
+}
+
+let of_events evs =
+  let by_id : (int, builder) Hashtbl.t = Hashtbl.create 64 in
+  let all = ref [] (* reversed creation order *) in
+  let roots = ref [] (* reversed *) in
+  let stack = ref [] (* open span ids, innermost first *) in
+  let err = ref None in
+  let fail msg = if Option.is_none !err then err := Some msg in
+  let on_begin (e : Trace.ev) =
+    if Hashtbl.mem by_id e.span then
+      fail (Printf.sprintf "span %d ('%s') begins twice" e.span e.name)
+    else begin
+      let derived = match !stack with [] -> -1 | id :: _ -> id in
+      let parent =
+        if e.parent >= 0 then
+          if List.exists (fun id -> Int.equal id e.parent) !stack then e.parent
+          else begin
+            fail
+              (Printf.sprintf
+                 "span %d ('%s') declares parent %d, which is not an open \
+                  span (orphan parent)"
+                 e.span e.name e.parent);
+            derived
+          end
+        else derived
+      in
+      let b =
+        {
+          b_id = e.span;
+          b_name = e.name;
+          b_parent = parent;
+          b_t0 = e.time;
+          b_t1 = e.time;
+          b_closed = false;
+          b_attrs = List.rev e.attrs;
+          b_children = [];
+          b_points = 0;
+        }
+      in
+      Hashtbl.replace by_id e.span b;
+      all := b :: !all;
+      (match (if parent >= 0 then Hashtbl.find_opt by_id parent else None) with
+      | Some p -> p.b_children <- b :: p.b_children
+      | None -> roots := b :: !roots);
+      stack := e.span :: !stack
+    end
+  in
+  let on_end (e : Trace.ev) =
+    match Hashtbl.find_opt by_id e.span with
+    | Some b when not b.b_closed ->
+      b.b_t1 <- e.time;
+      b.b_closed <- true;
+      b.b_attrs <- List.rev_append e.attrs b.b_attrs;
+      stack := List.filter (fun id -> not (Int.equal id e.span)) !stack
+    | Some _ ->
+      fail (Printf.sprintf "span %d ('%s') ends twice" e.span e.name)
+    | None ->
+      fail
+        (Printf.sprintf
+           "end of span %d ('%s') with no matching begin (unbalanced trace)"
+           e.span e.name)
+  in
+  let on_point (e : Trace.ev) =
+    if e.span >= 0 then
+      match Hashtbl.find_opt by_id e.span with
+      | Some b -> b.b_points <- b.b_points + 1
+      | None -> ()
+  in
+  List.iter
+    (fun (e : Trace.ev) ->
+      if Option.is_none !err then
+        match e.kind with
+        | Trace.Begin -> on_begin e
+        | Trace.End -> on_end e
+        | Trace.Point -> on_point e)
+    evs;
+  (match !err with
+  | None ->
+    List.iter
+      (fun b ->
+        if not b.b_closed then
+          fail
+            (Printf.sprintf "span %d ('%s') never ends (unbalanced trace)"
+               b.b_id b.b_name))
+      (List.rev !all)
+  | Some _ -> ());
+  match !err with
+  | Some msg -> Error msg
+  | None ->
+    let rec freeze b =
+      {
+        nd_id = b.b_id;
+        nd_name = b.b_name;
+        nd_parent = b.b_parent;
+        nd_t0 = b.b_t0;
+        nd_t1 = b.b_t1;
+        nd_attrs = List.rev b.b_attrs;
+        nd_points = b.b_points;
+        nd_children = List.rev_map freeze b.b_children |> List.rev;
+      }
+    in
+    Ok (List.rev_map freeze !roots |> List.rev)
+
+(* ---- analytics --------------------------------------------------------- *)
+
+let extent n = n.nd_t1 -. n.nd_t0
+
+let self_time n =
+  let kids = List.fold_left (fun acc c -> acc +. extent c) 0.0 n.nd_children in
+  Float.max 0.0 (extent n -. kids)
+
+let rec n_spans forest =
+  List.fold_left (fun acc n -> acc + 1 + n_spans n.nd_children) 0 forest
+
+let rec depth forest =
+  List.fold_left (fun acc n -> Int.max acc (1 + depth n.nd_children)) 0 forest
+
+(* Longest-extent child chain; ties break toward the earlier child so
+   the path is a deterministic function of the forest. *)
+let critical_path root =
+  let rec go n acc =
+    match n.nd_children with
+    | [] -> List.rev (n :: acc)
+    | c :: cs ->
+      let best =
+        List.fold_left
+          (fun best c' ->
+            if Float.compare (extent c') (extent best) > 0 then c' else best)
+          c cs
+      in
+      go best (n :: acc)
+  in
+  go root []
+
+(* Round grouping: a root span named "round" carries its index as the
+   "index" attr; any other root (v1 traces: the bare phase spans) is
+   attributed to the round containing its start time — phases occupy
+   one unit of simulated time per round, so [int_of_float t0] is the
+   round index. *)
+let round_of_root n =
+  match List.assoc_opt "index" n.nd_attrs with
+  | Some (Trace.Int i) when String.equal n.nd_name "round" -> i
+  | _ -> int_of_float n.nd_t0
+
+type round = { r_index : int; r_roots : node list }
+
+let rounds forest =
+  let tbl = ref [] in
+  List.iter
+    (fun n ->
+      let i = round_of_root n in
+      match List.assoc_opt i !tbl with
+      | Some acc -> acc := n :: !acc
+      | None -> tbl := (i, ref [ n ]) :: !tbl)
+    forest;
+  List.map (fun (i, acc) -> { r_index = i; r_roots = List.rev !acc }) !tbl
+  |> List.sort (fun a b -> Int.compare a.r_index b.r_index)
+
+(* Per-name aggregate over every span in the trees: name, count, total
+   extent, total self-time.  Sorted by name. *)
+let phase_rows roots =
+  let acc = ref [] in
+  let rec visit n =
+    (match List.assoc_opt n.nd_name !acc with
+    | Some cell ->
+      let c, e, s = !cell in
+      cell := (c + 1, e +. extent n, s +. self_time n)
+    | None -> acc := (n.nd_name, ref (1, extent n, self_time n)) :: !acc);
+    List.iter visit n.nd_children
+  in
+  List.iter visit roots;
+  List.map (fun (name, cell) -> let c, e, s = !cell in (name, c, e, s)) !acc
+  |> List.sort (fun (a, _, _, _) (b, _, _, _) -> String.compare a b)
+
+let round_extent r =
+  List.fold_left (fun acc n -> acc +. extent n) 0.0 r.r_roots
+
+(* The round's critical path: the chain under its longest root. *)
+let round_critical_path r =
+  match r.r_roots with
+  | [] -> []
+  | n :: ns ->
+    let best =
+      List.fold_left
+        (fun best n' ->
+          if Float.compare (extent n') (extent best) > 0 then n' else best)
+        n ns
+    in
+    critical_path best
+
+let matches_phase phase (name, _, _, _) =
+  match phase with None -> true | Some p -> String.equal p name
+
+(* ---- rendering --------------------------------------------------------- *)
+
+let path_to_string path =
+  String.concat " > "
+    (List.map
+       (fun n -> Printf.sprintf "%s[%s]" n.nd_name (Report.float_cell (extent n)))
+       path)
+
+let render ?phase ?round forest =
+  let buf = Buffer.create 1024 in
+  let rs = rounds forest in
+  let rs =
+    match round with
+    | None -> rs
+    | Some i -> List.filter (fun r -> Int.equal r.r_index i) rs
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "span forest: %d spans, %d rounds, depth %d\n"
+       (n_spans forest) (List.length rs) (depth forest));
+  List.iter
+    (fun r ->
+      let total = round_extent r in
+      let rows =
+        List.filter (matches_phase phase) (phase_rows r.r_roots)
+        |> List.map (fun (name, count, ext, self) ->
+               [
+                 name;
+                 string_of_int count;
+                 Report.float_cell ext;
+                 Report.float_cell self;
+                 (if Float.compare total 0.0 > 0 then
+                    Report.percent_cell (ext /. total)
+                  else "-");
+               ])
+      in
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf
+        (Report.table
+           ~title:
+             (Printf.sprintf "round %d (sim-time %s)" r.r_index
+                (Report.float_cell total))
+           ~header:[ "span"; "count"; "time"; "self"; "share" ]
+           rows);
+      match round_critical_path r with
+      | [] -> ()
+      | path ->
+        Buffer.add_string buf
+          (Printf.sprintf "critical path: %s\n" (path_to_string path)))
+    rs;
+  Buffer.contents buf
+
+(* Machine-readable report: one flat JSON object per line, floats in
+   the canonical round-tripping spelling so the output is byte-stable. *)
+let to_jsonl ?phase ?round forest =
+  let buf = Buffer.create 1024 in
+  let rs = rounds forest in
+  let rs =
+    match round with
+    | None -> rs
+    | Some i -> List.filter (fun r -> Int.equal r.r_index i) rs
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"k\":\"forest\",\"spans\":%d,\"rounds\":%d,\"depth\":%d}\n"
+       (n_spans forest) (List.length rs) (depth forest));
+  List.iter
+    (fun r ->
+      let path = round_critical_path r in
+      let crit =
+        String.concat ">" (List.map (fun n -> n.nd_name) path)
+      in
+      let crit_time =
+        match path with [] -> 0.0 | n :: _ -> extent n
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"k\":\"round\",\"round\":%d,\"time\":%s,\"crit\":\"%s\",\"crit_time\":%s}\n"
+           r.r_index
+           (Trace.float_to_string (round_extent r))
+           crit
+           (Trace.float_to_string crit_time));
+      List.iter
+        (fun (name, count, ext, self) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"k\":\"phase\",\"round\":%d,\"name\":\"%s\",\"count\":%d,\"time\":%s,\"self\":%s}\n"
+               r.r_index name count
+               (Trace.float_to_string ext)
+               (Trace.float_to_string self)))
+        (List.filter (matches_phase phase) (phase_rows r.r_roots)))
+    rs;
+  Buffer.contents buf

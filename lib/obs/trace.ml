@@ -8,10 +8,18 @@ type ev = {
   kind : kind;
   name : string;
   span : int;
+  parent : int;
   attrs : (string * value) list;
 }
 
 type span = { sp_id : int; sp_name : string }
+
+(* Schema versions the JSONL sink can speak.  v1 is the original
+   encoding, byte-identical to the pre-parent-id sink (digest-pinned
+   by test_faults).  v2 prepends a {"v":2} header line and adds a
+   "parent" field to Begin events. *)
+let min_version = 1
+let max_version = 2
 
 type t = {
   mutable clock : (unit -> float) option;
@@ -20,6 +28,7 @@ type t = {
   mutable n : int;
   mutable next_span : int;
   mutable stack : span list; (* innermost open span first *)
+  mutable version : int;
 }
 
 let create () =
@@ -30,7 +39,15 @@ let create () =
     n = 0;
     next_span = 0;
     stack = [];
+    version = 1;
   }
+
+let version t = t.version
+
+let set_version t v =
+  if v < min_version || v > max_version then
+    invalid_arg (Printf.sprintf "Trace.set_version: unsupported version %d" v);
+  t.version <- v
 
 let set_clock t f = t.clock <- Some f
 
@@ -40,25 +57,26 @@ let set_time t time =
 
 let now t = match t.clock with Some f -> f () | None -> t.manual
 
-let record t kind name span attrs =
-  let ev = { time = now t; seq = t.n; kind; name; span; attrs } in
+let record t kind name span parent attrs =
+  let ev = { time = now t; seq = t.n; kind; name; span; parent; attrs } in
   t.events <- ev :: t.events;
   t.n <- t.n + 1
 
-let point t ?(attrs = []) name =
-  let span = match t.stack with [] -> -1 | s :: _ -> s.sp_id in
-  record t Point name span attrs
+let innermost t = match t.stack with [] -> -1 | s :: _ -> s.sp_id
+
+let point t ?(attrs = []) name = record t Point name (innermost t) (-1) attrs
 
 let begin_span t ?(attrs = []) name =
+  let parent = innermost t in
   let sp = { sp_id = t.next_span; sp_name = name } in
   t.next_span <- t.next_span + 1;
   t.stack <- sp :: t.stack;
-  record t Begin name sp.sp_id attrs;
+  record t Begin name sp.sp_id parent attrs;
   sp
 
 let end_span t ?(attrs = []) sp =
   t.stack <- List.filter (fun s -> s.sp_id <> sp.sp_id) t.stack;
-  record t End sp.sp_name sp.sp_id attrs
+  record t End sp.sp_name sp.sp_id (-1) attrs
 
 let with_span t ?attrs name f =
   let sp = begin_span t ?attrs name in
@@ -104,7 +122,7 @@ let kind_to_string = function
   | Begin -> "begin"
   | End -> "end"
 
-let add_event buf e =
+let add_event buf ~version e =
   Buffer.add_string buf "{\"t\":";
   Buffer.add_string buf (float_to_string e.time);
   Buffer.add_string buf ",\"seq\":";
@@ -115,6 +133,11 @@ let add_event buf e =
   add_json_string buf e.name;
   Buffer.add_string buf ",\"span\":";
   Buffer.add_string buf (string_of_int e.span);
+  (match e.kind with
+  | Begin when version >= 2 ->
+    Buffer.add_string buf ",\"parent\":";
+    Buffer.add_string buf (string_of_int e.parent)
+  | Begin | Point | End -> ());
   Buffer.add_string buf ",\"attrs\":{";
   List.iteri
     (fun i (k, v) ->
@@ -125,10 +148,17 @@ let add_event buf e =
     e.attrs;
   Buffer.add_string buf "}}\n"
 
-let to_jsonl t =
-  let buf = Buffer.create (256 * (t.n + 1)) in
-  List.iter (add_event buf) (events t);
+let jsonl_of_events ~version evs =
+  if version < min_version || version > max_version then
+    invalid_arg
+      (Printf.sprintf "Trace.jsonl_of_events: unsupported version %d" version);
+  let buf = Buffer.create (256 * (List.length evs + 1)) in
+  if version >= 2 then
+    Buffer.add_string buf (Printf.sprintf "{\"v\":%d}\n" version);
+  List.iter (add_event buf ~version) evs;
   Buffer.contents buf
+
+let to_jsonl t = jsonl_of_events ~version:t.version (events t)
 
 let write_jsonl t ~path =
   let oc = open_out path in
@@ -277,6 +307,25 @@ let num_of_json name = function
   | J_num raw -> float_of_string raw
   | _ -> raise (Bad (Printf.sprintf "field %S is not a number" name))
 
+(* ---- generic flat-line view --------------------------------------------- *)
+
+(* The same one-object-per-line subset, exposed for the other JSONL
+   sinks built on this format (Timeseries samples, Benchgate records):
+   each field is a scalar or one level of nested object. *)
+
+type flat = Scalar of value | Nested of (string * value) list
+
+let flat_of_json = function
+  | J_obj kvs -> Nested (List.map (fun (k, v) -> (k, value_of_json v)) kvs)
+  | j -> Scalar (value_of_json j)
+
+let parse_flat_line line =
+  match parse_line line with
+  | J_obj fields -> Ok (List.map (fun (k, v) -> (k, flat_of_json v)) fields)
+  | J_num _ | J_str _ | J_bool _ -> Error "line is not an object"
+  | exception Bad msg -> Error msg
+  | exception Failure msg -> Error msg
+
 let ev_of_json = function
   | J_obj fields ->
     let kind =
@@ -297,38 +346,61 @@ let ev_of_json = function
       | J_obj kvs -> List.map (fun (k, v) -> (k, value_of_json v)) kvs
       | _ -> raise (Bad "field \"attrs\" is not an object")
     in
+    let parent =
+      match List.assoc_opt "parent" fields with
+      | Some j -> int_of_float (num_of_json "parent" j)
+      | None -> -1
+    in
     {
       time = num_of_json "t" (field fields "t");
       seq = int_of_float (num_of_json "seq" (field fields "seq"));
       kind;
       name;
       span = int_of_float (num_of_json "span" (field fields "span"));
+      parent;
       attrs;
     }
   | _ -> raise (Bad "line is not an object")
 
-let parse_jsonl source =
+let parse_jsonl_full source =
   let lines = String.split_on_char '\n' source in
   let lineno = ref 0 in
+  let version = ref 1 in
+  let saw_content = ref false in
   match
     List.filter_map
       (fun line ->
         incr lineno;
         if String.length line = 0 then None
-        else Some (ev_of_json (parse_line line)))
+        else
+          let j = parse_line line in
+          match j with
+          | J_obj [ ("v", v) ] when not !saw_content ->
+            saw_content := true;
+            let v = int_of_float (num_of_json "v" v) in
+            if v < min_version || v > max_version then
+              raise (Bad (Printf.sprintf "unsupported trace version %d" v));
+            version := v;
+            None
+          | _ ->
+            saw_content := true;
+            Some (ev_of_json j))
       lines
   with
-  | evs -> Ok evs
+  | evs -> Ok (!version, evs)
   | exception Bad msg -> Error (Printf.sprintf "line %d: %s" !lineno msg)
   | exception Failure msg -> Error (Printf.sprintf "line %d: %s" !lineno msg)
 
-let load_jsonl path =
+let parse_jsonl source = Result.map snd (parse_jsonl_full source)
+
+let read_file path =
   match open_in_bin path with
   | ic ->
-    let source =
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
-    in
-    parse_jsonl source
+    Ok
+      (Fun.protect
+         ~finally:(fun () -> close_in_noerr ic)
+         (fun () -> really_input_string ic (in_channel_length ic)))
   | exception Sys_error msg -> Error msg
+
+let load_jsonl_full path = Result.join (Result.map parse_jsonl_full (read_file path))
+let load_jsonl path = Result.map snd (load_jsonl_full path)

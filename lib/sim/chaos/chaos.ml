@@ -59,6 +59,7 @@ type seed_outcome = {
   o_retries : int;
   o_timeouts : int;
   o_moved : float;
+  o_final_ratio : float;
   o_violation : (int * string) option;
 }
 
@@ -95,6 +96,16 @@ let run_seed ?obs ~n_nodes ~max_rounds ~seed () =
     res
   in
   let r = Multiround.run ~faults ?obs ~max_rounds ~check s in
+  (* Final imbalance, survivors only: max unit load over the fair
+     share, the paper's convergence criterion (Timeseries tracks the
+     same figure per round when an obs bundle is attached). *)
+  let final_ratio =
+    let cap = Dht.total_capacity dht in
+    let fair =
+      if Float.compare cap 0.0 > 0 then Dht.total_load dht /. cap else 0.0
+    in
+    P2plb_obs.Timeseries.ratio ~unit_loads:(Scenario.unit_loads s) ~fair
+  in
   ( {
       o_seed = seed;
       o_config = config;
@@ -110,6 +121,7 @@ let run_seed ?obs ~n_nodes ~max_rounds ~seed () =
       o_retries = r.Multiround.total_retries;
       o_timeouts = r.Multiround.total_timeouts;
       o_moved = r.Multiround.total_moved /. Float.max 1e-9 total;
+      o_final_ratio = final_ratio;
       o_violation = r.Multiround.violation;
     },
     r )
@@ -148,7 +160,7 @@ let render r =
             r.seeds_requested r.base_seed r.n_nodes r.max_rounds)
        ~header:
          [ "seed"; "crash"; "loss"; "dup"; "xcrash"; "parts"; "rounds";
-           "live"; "heavy"; "aborted"; "dedup"; "invariants" ]
+           "live"; "heavy"; "ratio"; "aborted"; "dedup"; "invariants" ]
        (List.map
           (fun o ->
             [
@@ -161,6 +173,7 @@ let render r =
               string_of_int o.o_rounds;
               string_of_int o.o_final_live;
               string_of_int o.o_final_heavy;
+              Report.float_cell o.o_final_ratio;
               string_of_int o.o_aborted;
               string_of_int o.o_deduped;
               (match o.o_violation with
@@ -209,6 +222,9 @@ let replay ?obs ?(n_nodes = 256) ?(max_rounds = 3) ~seed () =
   Buffer.add_string buf
     (Printf.sprintf "fault config: %s\n\n" (render_config outcome.o_config));
   Buffer.add_string buf (Format.asprintf "%a" Multiround.pp r);
+  Buffer.add_string buf
+    (Printf.sprintf "final max/avg utilization: %s\n"
+       (Report.float_cell outcome.o_final_ratio));
   (match outcome.o_violation with
   | None ->
     Buffer.add_string buf

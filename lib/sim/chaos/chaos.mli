@@ -41,6 +41,9 @@ type seed_outcome = {
   o_retries : int;
   o_timeouts : int;
   o_moved : float;  (** total moved load as a fraction of system load *)
+  o_final_ratio : float;
+      (** final max/avg utilization over the surviving nodes — the
+          paper's convergence criterion ({!Timeseries.ratio}) *)
   o_violation : (int * string) option;
       (** first failing per-round invariant check, if any *)
 }

@@ -119,9 +119,17 @@ let test_histogram_percentile_bin () =
   check Alcotest.int "p50" 3 (Histogram.percentile_bin h 50.0);
   check Alcotest.int "p99" 10 (Histogram.percentile_bin h 99.0);
   check Alcotest.int "p100 is the max bin" 10 (Histogram.percentile_bin h 100.0);
-  Alcotest.check_raises "p outside range"
-    (Invalid_argument "Histogram.percentile_bin: p outside [0, 100]")
-    (fun () -> ignore (Histogram.percentile_bin h 101.0))
+  (* total on out-of-range inputs: clamped into [0, 100], NaN reads
+     as 100 *)
+  check Alcotest.int "p > 100 clamps to 100" 10
+    (Histogram.percentile_bin h 101.0);
+  check Alcotest.int "p < 0 clamps to 0" 1 (Histogram.percentile_bin h (-5.0));
+  check Alcotest.int "p = 0 is the first non-empty bin" 1
+    (Histogram.percentile_bin h 0.0);
+  check Alcotest.int "NaN reads as 100" 10
+    (Histogram.percentile_bin h Float.nan);
+  check Alcotest.int "empty histogram at p = 0" (-1)
+    (Histogram.percentile_bin (Histogram.create ()) 0.0)
 
 let test_histogram_validation () =
   let h = Histogram.create () in

@@ -6,10 +6,21 @@ module Trace = P2plb_obs.Trace
 module Registry = P2plb_obs.Registry
 module Summary = P2plb_obs.Summary
 module Obs = P2plb_obs.Obs
+module Spantree = P2plb_obs.Spantree
+module Timeseries = P2plb_obs.Timeseries
+module Benchgate = P2plb_obs.Benchgate
 module Histogram = P2plb_metrics.Histogram
 
 let check = Alcotest.check
 let feq = Alcotest.float 1e-12
+let feq9 = Alcotest.float 1e-9
+
+let str_contains hay sub =
+  let n = String.length hay and m = String.length sub in
+  let rec go i =
+    i + m <= n && (String.equal (String.sub hay i m) sub || go (i + 1))
+  in
+  go 0
 
 (* ---- event equality helpers -------------------------------------------- *)
 
@@ -153,6 +164,295 @@ let test_float_to_string_round_trips () =
       check feq (Printf.sprintf "%s round-trips" s) x (float_of_string s))
     [ 0.1; 1.0 /. 3.0; -1e-3; 6.02e23; 0.0; 42.0 ]
 
+(* ---- schema v2: parent ids & span forest -------------------------------- *)
+
+(* one round span over two phases — the controller's v2 shape *)
+let build_v2_trace () =
+  let t = Trace.create () in
+  Trace.set_version t 2;
+  Trace.set_time t 0.0;
+  let round = Trace.begin_span t "round" ~attrs:[ ("index", Trace.Int 0) ] in
+  Trace.set_time t 0.2;
+  let kt = Trace.begin_span t "phase/kt" in
+  Trace.set_time t 0.4;
+  Trace.end_span t kt;
+  let vst = Trace.begin_span t "phase/vst" in
+  Trace.point t "vst/transfer" ~attrs:[ ("hops", Trace.Int 1) ];
+  Trace.set_time t 1.0;
+  Trace.end_span t vst;
+  Trace.end_span t round ~attrs:[ ("transfers", Trace.Int 1) ];
+  t
+
+let test_v2_emit_parse_reemit () =
+  let t = build_v2_trace () in
+  let s = Trace.to_jsonl t in
+  check Alcotest.bool "v2 header on the first line" true
+    (String.starts_with ~prefix:"{\"v\":2}\n" s);
+  match Trace.parse_jsonl_full s with
+  | Error e -> Alcotest.fail ("parse_jsonl_full failed: " ^ e)
+  | Ok (v, evs) ->
+    check Alcotest.int "version round-trips" 2 v;
+    check Alcotest.string "emit -> parse -> re-emit is byte-identical" s
+      (Trace.jsonl_of_events ~version:2 evs);
+    let parent_of name =
+      (List.find
+         (fun ev ->
+           String.equal ev.Trace.name name && kind_eq ev.Trace.kind Trace.Begin)
+         evs)
+        .Trace.parent
+    in
+    check Alcotest.int "round is a root" (-1) (parent_of "round");
+    check Alcotest.int "phase/kt nests under round" 0 (parent_of "phase/kt");
+    check Alcotest.int "phase/vst nests under round" 0 (parent_of "phase/vst")
+
+let test_v1_encoding_unchanged () =
+  (* the digest-pinned v1 wire format must not grow new fields *)
+  let s = Trace.to_jsonl (build_mixed_trace ()) in
+  check Alcotest.bool "no version header" false (str_contains s "\"v\":");
+  check Alcotest.bool "no parent field" false (str_contains s "\"parent\":")
+
+let test_spantree_forest () =
+  let t = build_v2_trace () in
+  match Spantree.of_events (Trace.events t) with
+  | Error e -> Alcotest.fail ("of_events failed: " ^ e)
+  | Ok roots ->
+    check Alcotest.int "one root" 1 (List.length roots);
+    check Alcotest.int "three spans" 3 (Spantree.n_spans roots);
+    check Alcotest.int "depth two" 2 (Spantree.depth roots);
+    let root = List.hd roots in
+    check Alcotest.string "root is the round" "round" root.Spantree.nd_name;
+    check Alcotest.int "two phase children" 2
+      (List.length root.Spantree.nd_children);
+    check feq9 "round extent" 1.0 (Spantree.extent root);
+    check feq9 "round self-time (gap before phase/kt)" 0.2
+      (Spantree.self_time root);
+    (match Spantree.critical_path root with
+    | [ a; b ] ->
+      check Alcotest.string "path root" "round" a.Spantree.nd_name;
+      check Alcotest.string "path follows the longest phase" "phase/vst"
+        b.Spantree.nd_name;
+      check Alcotest.int "the vst point rode along" 1 b.Spantree.nd_points
+    | p ->
+      Alcotest.fail
+        (Printf.sprintf "critical path has %d nodes" (List.length p)));
+    (match Spantree.rounds roots with
+    | [ r ] ->
+      check Alcotest.int "round index from the attr" 0 r.Spantree.r_index;
+      check feq9 "round extent via grouping" 1.0 (Spantree.round_extent r)
+    | rs -> Alcotest.fail (Printf.sprintf "%d rounds" (List.length rs)));
+    (match Spantree.phase_rows roots with
+    | [ (n1, 1, _, _); (n2, 1, _, _); (n3, 1, _, _) ] ->
+      check
+        Alcotest.(list string)
+        "phase rows sorted by name"
+        [ "phase/kt"; "phase/vst"; "round" ]
+        [ n1; n2; n3 ]
+    | rows ->
+      Alcotest.fail (Printf.sprintf "%d phase rows" (List.length rows)))
+
+let test_spantree_jsonl_deterministic () =
+  let render_once () =
+    let t = build_v2_trace () in
+    match Spantree.of_events (Trace.events t) with
+    | Error e -> Alcotest.fail e
+    | Ok roots -> Spantree.to_jsonl roots
+  in
+  let a = render_once () in
+  check Alcotest.string "byte-identical across builds" a (render_once ());
+  check Alcotest.bool "carries the critical path" true
+    (str_contains a "\"crit\":")
+
+let test_spantree_rejects_unbalanced () =
+  let t = Trace.create () in
+  ignore (Trace.begin_span t "phase/open");
+  match Spantree.of_events (Trace.events t) with
+  | Ok _ -> Alcotest.fail "unbalanced trace accepted"
+  | Error e ->
+    check Alcotest.bool
+      (Printf.sprintf "diagnostic says unbalanced (%S)" e)
+      true
+      (str_contains e "unbalanced")
+
+let test_spantree_rejects_orphan_parent () =
+  let mk ~seq ~kind ~span ~parent time =
+    {
+      Trace.time;
+      seq;
+      kind;
+      name = "a";
+      span;
+      parent;
+      attrs = [];
+    }
+  in
+  let evs =
+    [
+      (* claims to nest under span 7, which was never opened *)
+      mk ~seq:0 ~kind:Trace.Begin ~span:0 ~parent:7 0.0;
+      mk ~seq:1 ~kind:Trace.End ~span:0 ~parent:(-1) 1.0;
+    ]
+  in
+  match Spantree.of_events evs with
+  | Ok _ -> Alcotest.fail "orphan parent accepted"
+  | Error e ->
+    check Alcotest.bool
+      (Printf.sprintf "diagnostic says orphan (%S)" e)
+      true (str_contains e "orphan")
+
+(* ---- timeseries --------------------------------------------------------- *)
+
+let build_series () =
+  let ts = Timeseries.create () in
+  ignore
+    (Timeseries.record ts ~round:0 ~time:1.0 ~epsilon:0.05
+       ~unit_loads:[| 3.0; 1.0 |] ~fair:2.0 ~moved:1.0 ~total_load:4.0);
+  ignore
+    (Timeseries.record ts ~round:1 ~time:2.0 ~epsilon:0.05
+       ~unit_loads:[| 2.0; 2.0 |] ~fair:2.0 ~moved:1.0 ~total_load:4.0);
+  ts
+
+let test_timeseries_record () =
+  let ts = build_series () in
+  match Timeseries.samples ts with
+  | [ s0; s1 ] ->
+    check feq "max load" 3.0 s0.Timeseries.ts_max;
+    check feq "ratio = max / fair" 1.5 s0.Timeseries.ts_ratio;
+    check feq9 "gini of [3;1]" 0.25 s0.Timeseries.ts_gini;
+    check feq "half the nodes overloaded" 0.5 s0.Timeseries.ts_over;
+    check feq "cumulative moved accumulates" 2.0 s1.Timeseries.ts_cum;
+    check feq "balanced round has ratio 1" 1.0 s1.Timeseries.ts_ratio;
+    check feq "balanced round has gini 0" 0.0 s1.Timeseries.ts_gini
+  | ss -> Alcotest.fail (Printf.sprintf "%d samples" (List.length ss))
+
+let test_timeseries_convergence () =
+  let ts = build_series () in
+  (match Timeseries.convergence (Timeseries.samples ts) with
+  | Timeseries.Converged { c_round; c_moved_frac; _ } ->
+    check Alcotest.int "first round within 1+eps" 1 c_round;
+    check feq9 "moved fraction" 0.5 c_moved_frac
+  | _ -> Alcotest.fail "expected Converged");
+  (match Timeseries.convergence [] with
+  | Timeseries.No_data -> ()
+  | _ -> Alcotest.fail "expected No_data");
+  let bad = Timeseries.create () in
+  ignore
+    (Timeseries.record bad ~round:0 ~time:1.0 ~epsilon:0.05
+       ~unit_loads:[| 4.0; 0.0 |] ~fair:2.0 ~moved:0.0 ~total_load:4.0);
+  match Timeseries.convergence (Timeseries.samples bad) with
+  | Timeseries.Not_converged { n_rounds; n_final_ratio; _ } ->
+    check Alcotest.int "rounds seen" 1 n_rounds;
+    check feq "final ratio reported" 2.0 n_final_ratio
+  | _ -> Alcotest.fail "expected Not_converged"
+
+let test_timeseries_jsonl_round_trip () =
+  let ts = build_series () in
+  check Alcotest.string "digest deterministic across builds"
+    (Timeseries.digest ts)
+    (Timeseries.digest (build_series ()));
+  let s = Timeseries.to_jsonl ts in
+  match Timeseries.parse_jsonl s with
+  | Error e -> Alcotest.fail ("parse_jsonl failed: " ^ e)
+  | Ok samples ->
+    check Alcotest.int "both samples back" 2 (List.length samples);
+    check Alcotest.string "emit -> parse -> re-emit is byte-identical" s
+      (Timeseries.jsonl_of_samples samples)
+
+(* ---- bench records & the gate ------------------------------------------- *)
+
+let mk_sim ?(conv = 1) () =
+  {
+    Benchgate.sm_rounds = 3;
+    sm_conv_round = conv;
+    sm_final_ratio = 1.02;
+    sm_moved_frac = 0.4;
+    sm_transfers = 42;
+    sm_messages = 420;
+    sm_series_digest = "0123456789abcdef";
+  }
+
+let mk_record ?(cpu = 1.0) ?(conv = 1) () =
+  {
+    Benchgate.f_meta =
+      {
+        Benchgate.m_schema = Benchgate.schema_version;
+        m_rev = "test";
+        m_nodes = 256;
+        m_graphs = 1;
+        m_seed = 7;
+        m_smoke = true;
+      };
+    f_experiments =
+      [
+        {
+          Benchgate.e_name = "smoke/convergence";
+          e_cpu_s = cpu;
+          e_alloc_bytes = 1e8;
+          e_sim = mk_sim ~conv ();
+        };
+      ];
+    f_benches = [ { Benchgate.b_name = "vst/round"; b_ns = 1000.0 } ];
+  }
+
+let test_benchgate_round_trip () =
+  let f = mk_record () in
+  (match Benchgate.validate f with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("validate rejected a good record: " ^ e));
+  match Benchgate.parse (Benchgate.to_json f) with
+  | Error e -> Alcotest.fail ("parse failed: " ^ e)
+  | Ok f' ->
+    check Alcotest.string "emit -> parse -> re-emit is byte-identical"
+      (Benchgate.to_json f) (Benchgate.to_json f');
+    check Alcotest.string "sim digest survives the trip"
+      (Benchgate.sim_digest f) (Benchgate.sim_digest f')
+
+let test_benchgate_validate_rejects () =
+  let f = mk_record () in
+  (match
+     Benchgate.validate
+       { f with Benchgate.f_meta = { f.Benchgate.f_meta with Benchgate.m_schema = 99 } }
+   with
+  | Ok () -> Alcotest.fail "wrong schema version accepted"
+  | Error _ -> ());
+  (match Benchgate.validate { f with Benchgate.f_experiments = [] } with
+  | Ok () -> Alcotest.fail "experiment-free record accepted"
+  | Error _ -> ());
+  match Benchgate.parse "{\"k\":\"mystery\"}\n" with
+  | Ok _ -> Alcotest.fail "unknown kind accepted"
+  | Error _ -> ()
+
+let test_benchgate_sim_digest_ignores_wall_clock () =
+  (* cpu/alloc are wall-clock-tainted; the determinism digest must not
+     see them, and must see every sim-derived field *)
+  check Alcotest.string "cpu change is invisible"
+    (Benchgate.sim_digest (mk_record ()))
+    (Benchgate.sim_digest (mk_record ~cpu:9.9 ()));
+  check Alcotest.bool "conv-round change is visible" false
+    (String.equal
+       (Benchgate.sim_digest (mk_record ()))
+       (Benchgate.sim_digest (mk_record ~conv:2 ())))
+
+let regressions report = report.Benchgate.rp_regressions
+
+let test_benchgate_diff () =
+  let base = mk_record () in
+  let diff current =
+    Benchgate.diff Benchgate.default_gate ~baseline:base ~current
+  in
+  check Alcotest.int "identical records pass" 0
+    (List.length (regressions (diff (mk_record ()))));
+  check Alcotest.int "50% cpu slowdown trips the 30% gate" 1
+    (List.length (regressions (diff (mk_record ~cpu:1.5 ()))));
+  check Alcotest.int "20% cpu slowdown passes" 0
+    (List.length (regressions (diff (mk_record ~cpu:1.2 ()))));
+  check Alcotest.bool "later convergence round flagged" true
+    (List.length (regressions (diff (mk_record ~conv:2 ()))) >= 1);
+  check Alcotest.bool "lost convergence flagged" true
+    (List.length (regressions (diff (mk_record ~conv:(-1) ()))) >= 1);
+  let gone = { (mk_record ()) with Benchgate.f_experiments = [] } in
+  check Alcotest.bool "missing experiment flagged" true
+    (List.length (regressions (diff gone)) >= 1)
+
 (* ---- registry ----------------------------------------------------------- *)
 
 let test_registry_counters_gauges () =
@@ -179,6 +479,26 @@ let test_registry_counters_gauges () =
   match Registry.find_histogram r "vst/hop_cost" with
   | None -> Alcotest.fail "histogram lost"
   | Some h' -> check feq "shared histogram" 1.5 (Histogram.weight_at h' 2)
+
+let test_registry_histogram_percentile_total () =
+  (* percentile_bin is total (see registry.mli): report code may hit
+     registry histograms that never received a sample *)
+  let r = Registry.create () in
+  let h = Registry.histogram r "vst/hop_cost" in
+  check Alcotest.int "empty at p=50" (-1) (Histogram.percentile_bin h 50.0);
+  check Alcotest.int "empty at p=0" (-1) (Histogram.percentile_bin h 0.0);
+  check Alcotest.int "empty at p=100" (-1) (Histogram.percentile_bin h 100.0);
+  Histogram.add h ~bin:2 ~weight:1.0;
+  Histogram.add h ~bin:5 ~weight:3.0;
+  check Alcotest.int "p=0 is the first non-empty bin" 2
+    (Histogram.percentile_bin h 0.0);
+  check Alcotest.int "p=100 is the last" 5 (Histogram.percentile_bin h 100.0);
+  check Alcotest.int "overshoot clamps to 100" 5
+    (Histogram.percentile_bin h 250.0);
+  check Alcotest.int "undershoot clamps to 0" 2
+    (Histogram.percentile_bin h (-1.0));
+  check Alcotest.int "NaN reads as 100" 5
+    (Histogram.percentile_bin h Float.nan)
 
 let test_registry_dump_sorted_and_stable () =
   let build flip =
@@ -297,10 +617,50 @@ let () =
           Alcotest.test_case "float spelling round-trips" `Quick
             test_float_to_string_round_trips;
         ] );
+      ( "schema-v2",
+        [
+          Alcotest.test_case "emit/parse/re-emit byte-identical" `Quick
+            test_v2_emit_parse_reemit;
+          Alcotest.test_case "v1 wire format unchanged" `Quick
+            test_v1_encoding_unchanged;
+        ] );
+      ( "spantree",
+        [
+          Alcotest.test_case "forest, critical path, rounds" `Quick
+            test_spantree_forest;
+          Alcotest.test_case "jsonl report deterministic" `Quick
+            test_spantree_jsonl_deterministic;
+          Alcotest.test_case "unbalanced rejected" `Quick
+            test_spantree_rejects_unbalanced;
+          Alcotest.test_case "orphan parent rejected" `Quick
+            test_spantree_rejects_orphan_parent;
+        ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "record derives statistics" `Quick
+            test_timeseries_record;
+          Alcotest.test_case "convergence detector" `Quick
+            test_timeseries_convergence;
+          Alcotest.test_case "jsonl round trip & digest" `Quick
+            test_timeseries_jsonl_round_trip;
+        ] );
+      ( "benchgate",
+        [
+          Alcotest.test_case "record round trip" `Quick
+            test_benchgate_round_trip;
+          Alcotest.test_case "validate rejects bad records" `Quick
+            test_benchgate_validate_rejects;
+          Alcotest.test_case "sim digest ignores wall clock" `Quick
+            test_benchgate_sim_digest_ignores_wall_clock;
+          Alcotest.test_case "gate flags regressions" `Quick
+            test_benchgate_diff;
+        ] );
       ( "registry",
         [
           Alcotest.test_case "counters and gauges" `Quick
             test_registry_counters_gauges;
+          Alcotest.test_case "histogram percentile is total" `Quick
+            test_registry_histogram_percentile_total;
           Alcotest.test_case "dump sorted and stable" `Quick
             test_registry_dump_sorted_and_stable;
         ] );

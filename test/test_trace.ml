@@ -1,6 +1,7 @@
 module Dht = P2plb_chord.Dht
 module Store = P2plb_chord.Store
 module Trace = P2plb_workload.Trace
+module ObsTrace = P2plb_obs.Trace
 
 let check = Alcotest.check
 
@@ -134,6 +135,46 @@ let test_balancing_keeps_up_with_trace () =
          <= Int.max 1 (first.P2plb.Multiround.heavy_before / 2))
   done
 
+(* ---- trace-summary input failures ---------------------------------------
+   `lb_sim trace-summary` (and trace-analyze) fail through
+   ObsTrace.load_jsonl; these pin the loader's contract so the CLI's
+   exit-1 paths have something concrete to stand on. *)
+
+let test_load_jsonl_missing_file () =
+  match ObsTrace.load_jsonl "no-such-trace.jsonl" with
+  | Ok _ -> Alcotest.fail "missing file accepted"
+  | Error e ->
+    check Alcotest.bool
+      (Printf.sprintf "diagnostic is non-empty (%S)" e)
+      true
+      (String.length e > 0)
+
+let test_load_jsonl_truncated_file () =
+  (* emit a real trace, then chop the final line mid-object — the
+     write died half way.  The loader must reject it with a
+     line-numbered diagnostic, not silently return a prefix. *)
+  let t = ObsTrace.create () in
+  let sp = ObsTrace.begin_span t "phase/vst" in
+  ObsTrace.point t "vst/transfer" ~attrs:[ ("hops", ObsTrace.Int 2) ];
+  ObsTrace.end_span t sp;
+  let full = ObsTrace.to_jsonl t in
+  let truncated = String.sub full 0 (String.length full - 12) in
+  let path = "truncated-trace.jsonl" in
+  let oc = open_out path in
+  output_string oc truncated;
+  close_out oc;
+  match ObsTrace.load_jsonl path with
+  | Ok _ -> Alcotest.fail "truncated trace accepted"
+  | Error e ->
+    let mentions_line =
+      let n = String.length e in
+      let rec go i = i + 4 <= n && (String.equal (String.sub e i 4) "line" || go (i + 1)) in
+      go 0
+    in
+    check Alcotest.bool
+      (Printf.sprintf "diagnostic names the line (%S)" e)
+      true mentions_line
+
 let () =
   Alcotest.run "trace"
     [
@@ -147,5 +188,12 @@ let () =
           Alcotest.test_case "accounting" `Quick test_accounting;
           Alcotest.test_case "LB keeps up" `Quick
             test_balancing_keeps_up_with_trace;
+        ] );
+      ( "loader",
+        [
+          Alcotest.test_case "missing file rejected" `Quick
+            test_load_jsonl_missing_file;
+          Alcotest.test_case "truncated file rejected" `Quick
+            test_load_jsonl_truncated_file;
         ] );
     ]
