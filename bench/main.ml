@@ -28,6 +28,11 @@ module TS = P2plb_topology.Transit_stub
 module Hilbert = P2plb_hilbert.Hilbert
 module Workload = P2plb_workload.Workload
 module Prng = P2plb_prng.Prng
+module Par = P2plb_sim.Par
+
+(* Raw monotonic clock (ns) from bechamel's stubs; aliased before
+   [open Toolkit] shadows the name with the MEASURE wrapper. *)
+module Mclock = Monotonic_clock
 module Obs = P2plb_obs.Obs
 module Registry = P2plb_obs.Registry
 module Benchgate = P2plb_obs.Benchgate
@@ -43,6 +48,24 @@ let env_int name default =
 let n_nodes = env_int "P2PLB_NODES" 2048
 let graphs = env_int "P2PLB_GRAPHS" 3
 let seed = env_int "P2PLB_SEED" 1
+
+(* --jobs N / -j N: domain count for the experiments that fan their
+   independent tasks out over Par.run.  Every table and the sim digest
+   are byte-identical for any job count; only wall clock changes. *)
+let jobs =
+  let rec from_argv i =
+    if i + 1 >= Array.length Sys.argv then env_int "P2PLB_JOBS" 1
+    else if
+      String.equal Sys.argv.(i) "--jobs" || String.equal Sys.argv.(i) "-j"
+    then
+      match int_of_string_opt Sys.argv.(i + 1) with
+      | Some j when j >= 1 -> j
+      | Some _ | None -> 1
+    else from_argv (i + 1)
+  in
+  from_argv 1
+
+let pool = Par.create ~jobs
 
 let rev =
   match Sys.getenv_opt "P2PLB_REV" with Some r -> r | None -> "dev"
@@ -140,20 +163,22 @@ let figures () =
            ~title:
              "paper: aware 67%@2 hops, 86%@10; ignorant 13%@10 (10 graphs, \
               4096 nodes)"
-           (E.fig7 ~obs ~seed ~graphs ~n_nodes ())));
+           (E.fig7 ~pool ~obs ~seed ~graphs ~n_nodes ())));
   section "Figure 8 (moved load vs distance, ts5k-small)";
   observed "fig8" (fun obs ->
       print_string
         (E.render_proximity
            ~title:"paper: aware well ahead of ignorant on a scattered overlay"
-           (E.fig8 ~obs ~seed ~graphs ~n_nodes ())));
+           (E.fig8 ~pool ~obs ~seed ~graphs ~n_nodes ())));
   section "T-vsa (VSA rounds vs N, K = 2 and 8)";
   observed "tvsa" (fun obs ->
       print_string
-        (E.render_tvsa [ E.tvsa ~obs ~seed ~k:2 (); E.tvsa ~obs ~seed ~k:8 () ]));
+        (E.render_tvsa
+           [ E.tvsa ~pool ~obs ~seed ~k:2 (); E.tvsa ~pool ~obs ~seed ~k:8 () ]));
   section "Baselines (CFS, Rao et al.)";
   observed "baselines" (fun obs ->
-      print_string (E.render_baselines (E.baselines ~obs ~seed ~n_nodes ())));
+      print_string
+        (E.render_baselines (E.baselines ~pool ~obs ~seed ~n_nodes ())));
   section "Churn / self-repair";
   observed "churn" (fun obs ->
       print_string
@@ -162,15 +187,15 @@ let figures () =
   observed "resilience" (fun obs ->
       print_string
         (E.render_resilience
-           (E.resilience ~obs ~seed ~n_nodes:(Int.min n_nodes 1024) ())));
+           (E.resilience ~pool ~obs ~seed ~n_nodes:(Int.min n_nodes 1024) ())));
   section "Replicated-store durability under churn";
-  print_string (E.render_durability (E.durability ~seed ()));
+  print_string (E.render_durability (E.durability ~pool ~seed ()));
   section "Periodic balancing under load drift";
   observed "drift" (fun obs ->
       print_string (E.render_load_drift (E.load_drift ~obs ~seed ())));
   section "Message overhead per phase";
   observed "overhead" (fun obs ->
-      print_string (E.render_overhead (E.overhead ~obs ~seed ())));
+      print_string (E.render_overhead (E.overhead ~pool ~obs ~seed ())));
   section "Ablations";
   observed "ablations" (fun obs ->
   print_string
@@ -183,7 +208,7 @@ let figures () =
               string_of_int h;
               Printf.sprintf "%.1f%%" (100.0 *. m);
             ])
-          (E.ablation_epsilon ~obs ~seed ~n_nodes:(Int.min n_nodes 2048) ())));
+          (E.ablation_epsilon ~pool ~obs ~seed ~n_nodes:(Int.min n_nodes 2048) ())));
   print_newline ();
   print_string
     (E.render_sweep ~title:"rendezvous threshold sweep"
@@ -191,7 +216,7 @@ let figures () =
        (List.map
           (fun (t, a, b) ->
             [ string_of_int t; Printf.sprintf "%.3f" a; Printf.sprintf "%.3f" b ])
-          (E.ablation_threshold ~obs ~seed ~n_nodes:(Int.min n_nodes 2048) ())));
+          (E.ablation_threshold ~pool ~obs ~seed ~n_nodes:(Int.min n_nodes 2048) ())));
   print_newline ();
   print_string
     (E.render_sweep ~title:"space-filling curve sweep"
@@ -199,7 +224,7 @@ let figures () =
        (List.map
           (fun (c, a, b) ->
             [ c; Printf.sprintf "%.3f" a; Printf.sprintf "%.3f" b ])
-          (E.ablation_curve ~obs ~seed ~n_nodes:(Int.min n_nodes 2048) ())));
+          (E.ablation_curve ~pool ~obs ~seed ~n_nodes:(Int.min n_nodes 2048) ())));
   print_newline ();
   print_string
     (E.render_sweep ~title:"K-nary degree sweep"
@@ -207,7 +232,7 @@ let figures () =
        (List.map
           (fun (k, d, n, m) ->
             [ string_of_int k; string_of_int d; string_of_int n; string_of_int m ])
-          (E.ablation_k ~obs ~seed ~n_nodes:(Int.min n_nodes 2048) ())));
+          (E.ablation_k ~pool ~obs ~seed ~n_nodes:(Int.min n_nodes 2048) ())));
   print_newline ();
   print_string
     (E.render_sweep ~title:"landmark count sweep"
@@ -220,7 +245,7 @@ let figures () =
               Printf.sprintf "%.3f" a;
               Printf.sprintf "%.3f" b;
             ])
-          (E.ablation_landmarks ~obs ~seed ~n_nodes:(Int.min n_nodes 2048) ()))));
+          (E.ablation_landmarks ~pool ~obs ~seed ~n_nodes:(Int.min n_nodes 2048) ()))));
   section "Per-experiment registry metrics";
   print_string (metrics_table ())
 
@@ -401,7 +426,30 @@ let smoke () =
         (List.length r.Multiround.rounds)
         r.Multiround.converged r.Multiround.total_moved)
 
+(* Wall clock of the experiment phase (monotonic, ns).  Together with
+   the per-experiment cpu totals this yields the parallel-utilisation
+   figure recorded as "speedup": total cpu / wall — ~1.0 sequential,
+   approaching --jobs when the domains run on real cores.  Wall-clock
+   tainted like cpu/alloc; confined to the bench record and excluded
+   from the sim digest and the regression gate. *)
+let wall_ns : int64 ref = ref 0L
+
+let walled f =
+  let t0 = Mclock.now () in
+  let r = f () in
+  wall_ns := Int64.add !wall_ns (Int64.sub (Mclock.now ()) t0);
+  r
+
 let emit_json ~smoke path =
+  let wall_s = Int64.to_float !wall_ns /. 1e9 in
+  let cpu_total =
+    List.fold_left
+      (fun acc e -> acc +. e.Benchgate.e_cpu_s)
+      0.0 !experiments_acc
+  in
+  let speedup =
+    if Float.compare wall_s 1e-9 > 0 then cpu_total /. wall_s else 1.0
+  in
   let file =
     {
       Benchgate.f_meta =
@@ -412,16 +460,22 @@ let emit_json ~smoke path =
           m_graphs = graphs;
           m_seed = seed;
           m_smoke = smoke;
+          m_jobs = jobs;
+          m_wall_s = wall_s;
+          m_speedup = speedup;
         };
       f_experiments = List.rev !experiments_acc;
       f_benches = !bench_acc;
     }
   in
   Benchgate.write file ~path;
-  Printf.printf "\nwrote %s (%d experiment(s), %d bench(es), sim digest %s)\n"
+  Printf.printf
+    "\nwrote %s (%d experiment(s), %d bench(es), jobs %d, wall %.2fs, \
+     speedup %.2fx, sim digest %s)\n"
     path
     (List.length file.Benchgate.f_experiments)
     (List.length file.Benchgate.f_benches)
+    jobs wall_s speedup
     (Benchgate.sim_digest file)
 
 (* Value-taking flag: "--json-out PATH"; flags: --smoke, --no-json. *)
@@ -445,12 +499,12 @@ let () =
     | None -> Printf.sprintf "BENCH_%s.json" rev
   in
   Printf.printf
-    "p2plb bench harness — nodes=%d graphs=%d seed=%d (override with \
-     P2PLB_NODES / P2PLB_GRAPHS / P2PLB_SEED)\n"
-    n_nodes graphs seed;
-  if smoke_only then smoke ()
+    "p2plb bench harness — nodes=%d graphs=%d seed=%d jobs=%d (override \
+     with P2PLB_NODES / P2PLB_GRAPHS / P2PLB_SEED / --jobs)\n"
+    n_nodes graphs seed jobs;
+  if smoke_only then walled smoke
   else begin
-    if not skip_figures then figures ();
+    if not skip_figures then walled figures;
     if not skip_bench then run_bechamel ()
   end;
   if not no_json then emit_json ~smoke:smoke_only json_path

@@ -4,6 +4,7 @@
 
 module E = P2plb.Experiments
 module Chaos = P2plb_chaos.Chaos
+module Par = P2plb_sim.Par
 module Obs = P2plb_obs.Obs
 module Trace = P2plb_obs.Trace
 module Registry = P2plb_obs.Registry
@@ -24,6 +25,22 @@ let nodes_arg default =
 let graphs_arg =
   let doc = "Topology instances to aggregate (the paper uses 10)." in
   Arg.(value & opt int 10 & info [ "graphs" ] ~docv:"G" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Run independent tasks (graph instances, sweep points, fault rows, \
+     chaos seeds) on $(docv) domains.  Output — tables, traces, metrics, \
+     time-series — is byte-identical for every job count; the default is \
+     sequential."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let pool_of_jobs jobs =
+  if jobs < 1 then begin
+    prerr_endline "lb_sim: --jobs must be >= 1";
+    exit 2
+  end
+  else Par.create ~jobs
 
 let csv_arg =
   let doc =
@@ -133,8 +150,8 @@ let do_fig6 obs seed n_nodes =
        ~title:"Figure 6 — load vs capacity after LB (Pareto loads)"
        (E.fig6 ?obs ~seed ~n_nodes ()))
 
-let do_fig7 obs seed graphs n_nodes csv =
-  let r = E.fig7 ?obs ~seed ~graphs ~n_nodes () in
+let do_fig7 ~pool obs seed graphs n_nodes csv =
+  let r = E.fig7 ~pool ?obs ~seed ~graphs ~n_nodes () in
   print_string
     (E.render_proximity
        ~title:
@@ -144,8 +161,8 @@ let do_fig7 obs seed graphs n_nodes csv =
        r);
   Option.iter (fun dir -> dump_proximity_csv dir "fig7" r) csv
 
-let do_fig8 obs seed graphs n_nodes csv =
-  let r = E.fig8 ?obs ~seed ~graphs ~n_nodes () in
+let do_fig8 ~pool obs seed graphs n_nodes csv =
+  let r = E.fig8 ~pool ?obs ~seed ~graphs ~n_nodes () in
   print_string
     (E.render_proximity
        ~title:
@@ -155,18 +172,19 @@ let do_fig8 obs seed graphs n_nodes csv =
        r);
   Option.iter (fun dir -> dump_proximity_csv dir "fig8" r) csv
 
-let do_tvsa obs seed =
+let do_tvsa ~pool obs seed =
   print_string
-    (E.render_tvsa [ E.tvsa ?obs ~seed ~k:2 (); E.tvsa ?obs ~seed ~k:8 () ])
+    (E.render_tvsa
+       [ E.tvsa ~pool ?obs ~seed ~k:2 (); E.tvsa ~pool ?obs ~seed ~k:8 () ])
 
-let do_baselines obs seed n_nodes =
-  print_string (E.render_baselines (E.baselines ?obs ~seed ~n_nodes ()))
+let do_baselines ~pool obs seed n_nodes =
+  print_string (E.render_baselines (E.baselines ~pool ?obs ~seed ~n_nodes ()))
 
 let do_churn obs seed n_nodes =
   print_string (E.render_churn (E.churn ?obs ~seed ~n_nodes ()))
 
-let do_resilience obs seed n_nodes =
-  print_string (E.render_resilience (E.resilience ?obs ~seed ~n_nodes ()))
+let do_resilience ~pool obs seed n_nodes =
+  print_string (E.render_resilience (E.resilience ~pool ?obs ~seed ~n_nodes ()))
 
 let do_verify obs seed n_nodes =
   let module Scenario = P2plb.Scenario in
@@ -198,25 +216,25 @@ let do_verify obs seed n_nodes =
     (P2plb.Invariants.all ~tree ~expected_total:total s.Scenario.dht);
   print_endline "all checks passed"
 
-let do_chaos obs base_seed seeds n_nodes max_rounds replay =
+let do_chaos ~pool obs base_seed seeds n_nodes max_rounds replay =
   match replay with
   | Some seed ->
     print_string (Chaos.replay ?obs ~n_nodes ~max_rounds ~seed ())
   | None ->
-    let r = Chaos.soak ?obs ~n_nodes ~max_rounds ~seeds ~base_seed () in
+    let r = Chaos.soak ~pool ?obs ~n_nodes ~max_rounds ~seeds ~base_seed () in
     print_string (Chaos.render r);
     if Chaos.failed r then exit 1
 
-let do_overhead obs seed =
-  print_string (E.render_overhead (E.overhead ?obs ~seed ()))
+let do_overhead ~pool obs seed =
+  print_string (E.render_overhead (E.overhead ~pool ?obs ~seed ()))
 
-let do_durability _obs seed n_nodes =
-  print_string (E.render_durability (E.durability ~seed ~n_nodes ()))
+let do_durability ~pool _obs seed n_nodes =
+  print_string (E.render_durability (E.durability ~pool ~seed ~n_nodes ()))
 
 let do_drift obs seed n_nodes =
   print_string (E.render_load_drift (E.load_drift ?obs ~seed ~n_nodes ()))
 
-let do_ablations obs seed n_nodes =
+let do_ablations ~pool obs seed n_nodes =
   print_string
     (E.render_sweep
        ~title:"Ablation — epsilon_rel (balance slack vs residual heavies)"
@@ -228,7 +246,7 @@ let do_ablations obs seed n_nodes =
               string_of_int h;
               Printf.sprintf "%.1f%%" (100.0 *. m);
             ])
-          (E.ablation_epsilon ?obs ~seed ~n_nodes ())));
+          (E.ablation_epsilon ~pool ?obs ~seed ~n_nodes ())));
   print_newline ();
   print_string
     (E.render_sweep ~title:"Ablation — rendezvous threshold"
@@ -240,7 +258,7 @@ let do_ablations obs seed n_nodes =
               Printf.sprintf "%.3f" c2;
               Printf.sprintf "%.3f" c10;
             ])
-          (E.ablation_threshold ?obs ~seed ~n_nodes ())));
+          (E.ablation_threshold ~pool ?obs ~seed ~n_nodes ())));
   print_newline ();
   print_string
     (E.render_sweep ~title:"Ablation — space-filling curve for VSA keys"
@@ -248,7 +266,7 @@ let do_ablations obs seed n_nodes =
        (List.map
           (fun (c, c2, c10) ->
             [ c; Printf.sprintf "%.3f" c2; Printf.sprintf "%.3f" c10 ])
-          (E.ablation_curve ?obs ~seed ~n_nodes ())));
+          (E.ablation_curve ~pool ?obs ~seed ~n_nodes ())));
   print_newline ();
   print_string
     (E.render_sweep ~title:"Ablation — K-nary tree degree"
@@ -261,7 +279,7 @@ let do_ablations obs seed n_nodes =
               string_of_int n;
               string_of_int m;
             ])
-          (E.ablation_k ?obs ~seed ~n_nodes ())));
+          (E.ablation_k ~pool ?obs ~seed ~n_nodes ())));
   print_newline ();
   print_string
     (E.render_sweep
@@ -275,71 +293,75 @@ let do_ablations obs seed n_nodes =
               Printf.sprintf "%.3f" c2;
               Printf.sprintf "%.3f" c10;
             ])
-          (E.ablation_landmarks ?obs ~seed ~n_nodes ())))
+          (E.ablation_landmarks ~pool ?obs ~seed ~n_nodes ())))
 
-let do_all obs seed graphs n_nodes =
+let do_all ~pool obs seed graphs n_nodes =
   do_fig4 obs seed n_nodes;
   print_newline ();
   do_fig5 obs seed n_nodes;
   print_newline ();
   do_fig6 obs seed n_nodes;
   print_newline ();
-  do_fig7 obs seed graphs n_nodes None;
+  do_fig7 ~pool obs seed graphs n_nodes None;
   print_newline ();
-  do_fig8 obs seed graphs n_nodes None;
+  do_fig8 ~pool obs seed graphs n_nodes None;
   print_newline ();
-  do_tvsa obs seed;
+  do_tvsa ~pool obs seed;
   print_newline ();
-  do_baselines obs seed n_nodes;
+  do_baselines ~pool obs seed n_nodes;
   print_newline ();
   do_churn obs seed (Int.min n_nodes 1024);
   print_newline ();
-  do_resilience obs seed (Int.min n_nodes 1024);
+  do_resilience ~pool obs seed (Int.min n_nodes 1024);
   print_newline ();
-  do_overhead obs seed;
+  do_overhead ~pool obs seed;
   print_newline ();
-  do_durability obs seed (Int.min n_nodes 512);
+  do_durability ~pool obs seed (Int.min n_nodes 512);
   print_newline ();
   do_drift obs seed (Int.min n_nodes 1024);
   print_newline ();
-  do_ablations obs seed (Int.min n_nodes 2048)
+  do_ablations ~pool obs seed (Int.min n_nodes 2048)
 
 let run_fig4 seed n sinks = sinked (fun obs -> do_fig4 obs seed n) sinks
 let run_fig5 seed n sinks = sinked (fun obs -> do_fig5 obs seed n) sinks
 let run_fig6 seed n sinks = sinked (fun obs -> do_fig6 obs seed n) sinks
 
-let run_fig7 seed graphs n csv sinks =
-  sinked (fun obs -> do_fig7 obs seed graphs n csv) sinks
+let run_fig7 seed graphs n csv jobs sinks =
+  sinked (fun obs -> do_fig7 ~pool:(pool_of_jobs jobs) obs seed graphs n csv) sinks
 
-let run_fig8 seed graphs n csv sinks =
-  sinked (fun obs -> do_fig8 obs seed graphs n csv) sinks
+let run_fig8 seed graphs n csv jobs sinks =
+  sinked (fun obs -> do_fig8 ~pool:(pool_of_jobs jobs) obs seed graphs n csv) sinks
 
-let run_tvsa seed sinks = sinked (fun obs -> do_tvsa obs seed) sinks
+let run_tvsa seed jobs sinks =
+  sinked (fun obs -> do_tvsa ~pool:(pool_of_jobs jobs) obs seed) sinks
 
-let run_baselines seed n sinks =
-  sinked (fun obs -> do_baselines obs seed n) sinks
+let run_baselines seed n jobs sinks =
+  sinked (fun obs -> do_baselines ~pool:(pool_of_jobs jobs) obs seed n) sinks
 
 let run_churn seed n sinks = sinked (fun obs -> do_churn obs seed n) sinks
 
-let run_resilience seed n sinks =
-  sinked (fun obs -> do_resilience obs seed n) sinks
+let run_resilience seed n jobs sinks =
+  sinked (fun obs -> do_resilience ~pool:(pool_of_jobs jobs) obs seed n) sinks
 
-let run_chaos seed seeds n rounds replay sinks =
-  sinked (fun obs -> do_chaos obs seed seeds n rounds replay) sinks
+let run_chaos seed seeds n rounds replay jobs sinks =
+  sinked
+    (fun obs -> do_chaos ~pool:(pool_of_jobs jobs) obs seed seeds n rounds replay)
+    sinks
 
 let run_verify seed n sinks = sinked (fun obs -> do_verify obs seed n) sinks
-let run_overhead seed sinks = sinked (fun obs -> do_overhead obs seed) sinks
+let run_overhead seed jobs sinks =
+  sinked (fun obs -> do_overhead ~pool:(pool_of_jobs jobs) obs seed) sinks
 
-let run_durability seed n sinks =
-  sinked (fun obs -> do_durability obs seed n) sinks
+let run_durability seed n jobs sinks =
+  sinked (fun obs -> do_durability ~pool:(pool_of_jobs jobs) obs seed n) sinks
 
 let run_drift seed n sinks = sinked (fun obs -> do_drift obs seed n) sinks
 
-let run_ablations seed n sinks =
-  sinked (fun obs -> do_ablations obs seed n) sinks
+let run_ablations seed n jobs sinks =
+  sinked (fun obs -> do_ablations ~pool:(pool_of_jobs jobs) obs seed n) sinks
 
-let run_all seed graphs n sinks =
-  sinked (fun obs -> do_all obs seed graphs n) sinks
+let run_all seed graphs n jobs sinks =
+  sinked (fun obs -> do_all ~pool:(pool_of_jobs jobs) obs seed graphs n) sinks
 
 (* ---- trace analytics ---------------------------------------------------- *)
 
@@ -425,21 +447,21 @@ let fig7_cmd =
   cmd "fig7" "Moved-load distance distribution and CDF on ts5k-large."
     Term.(
       const run_fig7 $ seed_arg $ graphs_arg $ nodes_arg 4096 $ csv_arg
-      $ sink_arg)
+      $ jobs_arg $ sink_arg)
 
 let fig8_cmd =
   cmd "fig8" "Moved-load distance distribution and CDF on ts5k-small."
     Term.(
       const run_fig8 $ seed_arg $ graphs_arg $ nodes_arg 4096 $ csv_arg
-      $ sink_arg)
+      $ jobs_arg $ sink_arg)
 
 let tvsa_cmd =
   cmd "tvsa" "VSA rounds vs network size for K = 2 and K = 8."
-    Term.(const run_tvsa $ seed_arg $ sink_arg)
+    Term.(const run_tvsa $ seed_arg $ jobs_arg $ sink_arg)
 
 let baselines_cmd =
   cmd "baselines" "Compare against CFS shedding and the Rao et al. schemes."
-    Term.(const run_baselines $ seed_arg $ nodes_arg 4096 $ sink_arg)
+    Term.(const run_baselines $ seed_arg $ nodes_arg 4096 $ jobs_arg $ sink_arg)
 
 let churn_cmd =
   cmd "churn" "Self-repair: crash/join nodes, refresh the KT tree, rebalance."
@@ -448,7 +470,7 @@ let churn_cmd =
 let resilience_cmd =
   cmd "resilience"
     "Fault injection: mid-round crashes + message loss, KT repair, retries."
-    Term.(const run_resilience $ seed_arg $ nodes_arg 1024 $ sink_arg)
+    Term.(const run_resilience $ seed_arg $ nodes_arg 1024 $ jobs_arg $ sink_arg)
 
 let chaos_cmd =
   let seeds_arg =
@@ -472,11 +494,11 @@ let chaos_cmd =
      non-zero naming the first failing seed."
     Term.(
       const run_chaos $ seed_arg $ seeds_arg $ nodes_arg 256 $ rounds_arg
-      $ replay_arg $ sink_arg)
+      $ replay_arg $ jobs_arg $ sink_arg)
 
 let durability_cmd =
   cmd "durability" "Replicated-store availability and loss under churn."
-    Term.(const run_durability $ seed_arg $ nodes_arg 512 $ sink_arg)
+    Term.(const run_durability $ seed_arg $ nodes_arg 512 $ jobs_arg $ sink_arg)
 
 let drift_cmd =
   cmd "drift" "Periodic balancing under load drift."
@@ -488,15 +510,15 @@ let verify_cmd =
 
 let overhead_cmd =
   cmd "overhead" "Per-phase message cost of one LB round vs network size."
-    Term.(const run_overhead $ seed_arg $ sink_arg)
+    Term.(const run_overhead $ seed_arg $ jobs_arg $ sink_arg)
 
 let ablations_cmd =
   cmd "ablations" "Design-choice sweeps: epsilon, threshold, curve, K."
-    Term.(const run_ablations $ seed_arg $ nodes_arg 2048 $ sink_arg)
+    Term.(const run_ablations $ seed_arg $ nodes_arg 2048 $ jobs_arg $ sink_arg)
 
 let all_cmd =
   cmd "all" "Run every experiment in sequence."
-    Term.(const run_all $ seed_arg $ graphs_arg $ nodes_arg 4096 $ sink_arg)
+    Term.(const run_all $ seed_arg $ graphs_arg $ nodes_arg 4096 $ jobs_arg $ sink_arg)
 
 let trace_summary_cmd =
   cmd "trace-summary"

@@ -8,6 +8,7 @@ module Stats = P2plb_metrics.Stats
 module Report = P2plb_metrics.Report
 module Workload = P2plb_workload.Workload
 module Store = P2plb_chord.Store
+module Par = P2plb_sim.Par
 
 (* ---- common ----------------------------------------------------------- *)
 
@@ -183,24 +184,40 @@ let locality_ceiling (s : Scenario.t) =
       0.0 supply_bindings
     /. total
 
-let proximity_run ?obs ~seed ~graphs ~n_nodes ~topology () =
+let proximity_run ?(pool = Par.sequential) ?obs ~seed ~graphs ~n_nodes ~topology
+    () =
   if graphs < 1 then invalid_arg "Experiments: graphs < 1";
+  (* One task per (graph instance, proximity mode), in the historical
+     iteration order; results are folded back in task-index order so
+     histogram merges and the ceiling sum accumulate exactly as the
+     sequential loop did. *)
+  let tasks =
+    Array.of_list
+      (List.concat_map
+         (fun g -> List.map (fun proximity -> (g, proximity)) [ true; false ])
+         (List.init graphs (fun g -> g)))
+  in
+  let results =
+    Par.run pool ?obs ~n:(Array.length tasks) (fun i obs ->
+        let g, proximity = tasks.(i) in
+        let config = { Scenario.default with n_nodes; topology } in
+        let s = Scenario.build ~seed:(seed + (1000 * g)) config in
+        let ceiling = if proximity then locality_ceiling s else 0.0 in
+        let cc = { Controller.default with Controller.proximity } in
+        let o = Controller.run ~config:cc ?obs s in
+        (proximity, o.Controller.vst.Vst.hist, ceiling))
+  in
   let aware = ref (Histogram.create ())
   and ignorant = ref (Histogram.create ()) in
   let ceilings = ref 0.0 in
-  for g = 0 to graphs - 1 do
-    List.iter
-      (fun proximity ->
-        let config = { Scenario.default with n_nodes; topology } in
-        let s = Scenario.build ~seed:(seed + (1000 * g)) config in
-        if proximity then ceilings := !ceilings +. locality_ceiling s;
-        let cc = { Controller.default with Controller.proximity } in
-        let o = Controller.run ~config:cc ?obs s in
-        let hist = o.Controller.vst.Vst.hist in
-        if proximity then aware := Histogram.merge !aware hist
-        else ignorant := Histogram.merge !ignorant hist)
-      [ true; false ]
-  done;
+  Array.iter
+    (fun (proximity, hist, ceiling) ->
+      if proximity then begin
+        ceilings := !ceilings +. ceiling;
+        aware := Histogram.merge !aware hist
+      end
+      else ignorant := Histogram.merge !ignorant hist)
+    results;
   let mean h =
     let t = Histogram.total_weight h in
     if t <= 0.0 then 0.0
@@ -219,11 +236,13 @@ let proximity_run ?obs ~seed ~graphs ~n_nodes ~topology () =
     graphs;
   }
 
-let fig7 ?obs ?(seed = 1) ?(graphs = 10) ?(n_nodes = 4096) () =
-  proximity_run ?obs ~seed ~graphs ~n_nodes ~topology:Transit_stub.ts5k_large ()
+let fig7 ?pool ?obs ?(seed = 1) ?(graphs = 10) ?(n_nodes = 4096) () =
+  proximity_run ?pool ?obs ~seed ~graphs ~n_nodes
+    ~topology:Transit_stub.ts5k_large ()
 
-let fig8 ?obs ?(seed = 1) ?(graphs = 10) ?(n_nodes = 4096) () =
-  proximity_run ?obs ~seed ~graphs ~n_nodes ~topology:Transit_stub.ts5k_small ()
+let fig8 ?pool ?obs ?(seed = 1) ?(graphs = 10) ?(n_nodes = 4096) () =
+  proximity_run ?pool ?obs ~seed ~graphs ~n_nodes
+    ~topology:Transit_stub.ts5k_small ()
 
 let render_proximity ~title r =
   let buf = Buffer.create 4096 in
@@ -280,19 +299,18 @@ type tvsa_result = {
   n_nodes_sweep : (int * int * int) list;
 }
 
-let tvsa ?obs ?(seed = 1) ~k () =
-  let sizes = [ 256; 512; 1024; 2048; 4096 ] in
+let tvsa ?(pool = Par.sequential) ?obs ?(seed = 1) ~k () =
+  let sizes = [| 256; 512; 1024; 2048; 4096 |] in
   let rows =
-    List.map
-      (fun n_nodes ->
+    Par.run pool ?obs ~n:(Array.length sizes) (fun i obs ->
+        let n_nodes = sizes.(i) in
         let config = { Scenario.default with n_nodes } in
         let s = Scenario.build ~seed config in
         let cc = { Controller.default with Controller.k } in
         let o = Controller.run ~config:cc ?obs s in
         (n_nodes, o.Controller.tree_depth, o.Controller.vsa_rounds))
-      sizes
   in
-  { k; n_nodes_sweep = rows }
+  { k; n_nodes_sweep = Array.to_list rows }
 
 let render_tvsa results =
   let rows =
@@ -326,7 +344,7 @@ type baseline_row = {
   b_cdf10 : float;
 }
 
-let baselines ?obs ?(seed = 1) ?(n_nodes = 4096) () =
+let baselines ?(pool = Par.sequential) ?obs ?(seed = 1) ?(n_nodes = 4096) () =
   let config = { Scenario.default with n_nodes } in
   let fresh () = Scenario.build ~seed config in
   let hist_mean h =
@@ -338,7 +356,7 @@ let baselines ?obs ?(seed = 1) ?(n_nodes = 4096) () =
         0.0 (Histogram.bins h)
       /. t
   in
-  let ours proximity name =
+  let ours proximity name obs =
     let s = fresh () in
     let total = Dht.total_load s.Scenario.dht in
     let cc = { Controller.default with Controller.proximity } in
@@ -369,18 +387,31 @@ let baselines ?obs ?(seed = 1) ?(n_nodes = 4096) () =
       b_cdf10 = Histogram.cumulative_fraction r.Baselines.hist 10;
     }
   in
-  [
-    ours true "ours (proximity-aware)";
-    ours false "ours (proximity-ignorant)";
-    baseline "CFS shedding" (fun ~rng ~oracle dht ->
-        Baselines.cfs_shed ~rng ~oracle dht);
-    baseline "Rao one-to-one" (fun ~rng ~oracle dht ->
-        Baselines.rao_one_to_one ~rng ~oracle dht);
-    baseline "Rao one-to-many" (fun ~rng ~oracle dht ->
-        Baselines.rao_one_to_many ~rng ~oracle dht);
-    baseline "Rao many-to-many" (fun ~rng ~oracle dht ->
-        Baselines.rao_many_to_many ~rng ~oracle dht);
-  ]
+  (* Rows 0–1 run a balancing round (one simulated-time unit each when
+     traced); the baseline schemes never touch the obs bundle, so their
+     task time is 0. *)
+  let rows : (P2plb_obs.Obs.t option -> baseline_row) array =
+    [|
+      (fun obs -> ours true "ours (proximity-aware)" obs);
+      (fun obs -> ours false "ours (proximity-ignorant)" obs);
+      (fun _ ->
+        baseline "CFS shedding" (fun ~rng ~oracle dht ->
+            Baselines.cfs_shed ~rng ~oracle dht));
+      (fun _ ->
+        baseline "Rao one-to-one" (fun ~rng ~oracle dht ->
+            Baselines.rao_one_to_one ~rng ~oracle dht));
+      (fun _ ->
+        baseline "Rao one-to-many" (fun ~rng ~oracle dht ->
+            Baselines.rao_one_to_many ~rng ~oracle dht));
+      (fun _ ->
+        baseline "Rao many-to-many" (fun ~rng ~oracle dht ->
+            Baselines.rao_many_to_many ~rng ~oracle dht));
+    |]
+  in
+  let task_time i = if i < 2 then 1.0 else 0.0 in
+  Array.to_list
+    (Par.run pool ?obs ~task_time ~n:(Array.length rows) (fun i obs ->
+         rows.(i) obs))
 
 let render_baselines rows =
   Report.table
@@ -465,10 +496,31 @@ type resilience_row = {
   z_invariants_ok : bool;
 }
 
-let resilience ?obs ?(seed = 1) ?(n_nodes = 1024) ?(max_rounds = 3) () =
-  List.map
-    (fun (crash_fraction, message_loss, duplicate_prob, transfer_crash,
-          partitions) ->
+let resilience ?(pool = Par.sequential) ?obs ?(seed = 1) ?(n_nodes = 1024)
+    ?(max_rounds = 3) () =
+  let cases =
+    [|
+      (0.0, 0.0, 0.0, 0.0, 0);
+      (0.05, 0.01, 0.0, 0.0, 0);
+      (0.1, 0.01, 0.0, 0.0, 0);
+      (0.2, 0.02, 0.0, 0.0, 0);
+      (0.3, 0.05, 0.0, 0.0, 0);
+      (* transfer-path faults: the transactional VST protocol engages *)
+      (0.1, 0.01, 0.1, 0.0, 0);
+      (0.1, 0.01, 0.0, 0.1, 0);
+      (0.0, 0.0, 0.0, 0.0, 1);
+      (0.1, 0.02, 0.05, 0.05, 2);
+    |]
+  in
+  Array.to_list
+  @@ Par.run pool ?obs ~n:(Array.length cases) (fun i obs ->
+      let ( crash_fraction,
+            message_loss,
+            duplicate_prob,
+            transfer_crash,
+            partitions ) =
+        cases.(i)
+      in
       let config = { Scenario.default with n_nodes } in
       let s = Scenario.build ~seed config in
       let dht = s.Scenario.dht in
@@ -526,18 +578,6 @@ let resilience ?obs ?(seed = 1) ?(n_nodes = 1024) ?(max_rounds = 3) () =
         z_rounds = List.length r.Multiround.rounds;
         z_invariants_ok = ok;
       })
-    [
-      (0.0, 0.0, 0.0, 0.0, 0);
-      (0.05, 0.01, 0.0, 0.0, 0);
-      (0.1, 0.01, 0.0, 0.0, 0);
-      (0.2, 0.02, 0.0, 0.0, 0);
-      (0.3, 0.05, 0.0, 0.0, 0);
-      (* transfer-path faults: the transactional VST protocol engages *)
-      (0.1, 0.01, 0.1, 0.0, 0);
-      (0.1, 0.01, 0.0, 0.1, 0);
-      (0.0, 0.0, 0.0, 0.0, 1);
-      (0.1, 0.02, 0.05, 0.05, 2);
-    ]
 
 let render_resilience rows =
   Report.table
@@ -575,20 +615,32 @@ let render_resilience rows =
 
 (* ---- ablations --------------------------------------------------------- *)
 
-let ablation_epsilon ?obs ?(seed = 1) ?(n_nodes = 2048) () =
-  List.map
-    (fun epsilon_rel ->
+(* Shared shape of the parameter-sweep ablations: one task per
+   parameter value, each building its own scenario and running one
+   traced round. *)
+let sweep ?pool ?obs params run =
+  let params = Array.of_list params in
+  Array.to_list
+    (Par.run
+       (Option.value pool ~default:Par.sequential)
+       ?obs ~n:(Array.length params)
+       (fun i obs -> run params.(i) obs))
+
+let ablation_epsilon ?pool ?obs ?(seed = 1) ?(n_nodes = 2048) () =
+  sweep ?pool ?obs
+    [ 0.0; 0.01; 0.02; 0.05; 0.1; 0.2 ]
+    (fun epsilon_rel obs ->
       let config = { Scenario.default with n_nodes } in
       let s = Scenario.build ~seed config in
       let cc = { Controller.default with Controller.epsilon_rel } in
       let o = Controller.run ~config:cc ?obs s in
       let ha, _, _ = o.Controller.census_after in
       (epsilon_rel, ha, Controller.moved_fraction o))
-    [ 0.0; 0.01; 0.02; 0.05; 0.1; 0.2 ]
 
-let ablation_threshold ?obs ?(seed = 1) ?(n_nodes = 2048) () =
-  List.map
-    (fun threshold ->
+let ablation_threshold ?pool ?obs ?(seed = 1) ?(n_nodes = 2048) () =
+  sweep ?pool ?obs
+    [ 5; 10; 30; 100; 300; 1000 ]
+    (fun threshold obs ->
       let config = { Scenario.default with n_nodes } in
       let s = Scenario.build ~seed config in
       let cc = { Controller.default with Controller.threshold } in
@@ -596,11 +648,11 @@ let ablation_threshold ?obs ?(seed = 1) ?(n_nodes = 2048) () =
       ( threshold,
         Controller.cdf_at o ~hops:2,
         Controller.cdf_at o ~hops:10 ))
-    [ 5; 10; 30; 100; 300; 1000 ]
 
-let ablation_curve ?obs ?(seed = 1) ?(n_nodes = 2048) () =
-  List.map
-    (fun curve ->
+let ablation_curve ?pool ?obs ?(seed = 1) ?(n_nodes = 2048) () =
+  sweep ?pool ?obs
+    [ Hilbert.Hilbert; Hilbert.Morton; Hilbert.Row_major ]
+    (fun curve obs ->
       let config = { Scenario.default with n_nodes } in
       let s = Scenario.build ~seed config in
       let cc = { Controller.default with Controller.curve } in
@@ -608,21 +660,19 @@ let ablation_curve ?obs ?(seed = 1) ?(n_nodes = 2048) () =
       ( Hilbert.curve_to_string curve,
         Controller.cdf_at o ~hops:2,
         Controller.cdf_at o ~hops:10 ))
-    [ Hilbert.Hilbert; Hilbert.Morton; Hilbert.Row_major ]
 
-let ablation_k ?obs ?(seed = 1) ?(n_nodes = 2048) () =
-  List.map
-    (fun k ->
+let ablation_k ?pool ?obs ?(seed = 1) ?(n_nodes = 2048) () =
+  sweep ?pool ?obs [ 2; 4; 8 ] (fun k obs ->
       let config = { Scenario.default with n_nodes } in
       let s = Scenario.build ~seed config in
       let cc = { Controller.default with Controller.k } in
       let o = Controller.run ~config:cc ?obs s in
       (k, o.Controller.tree_depth, o.Controller.tree_nodes, o.Controller.tree_messages))
-    [ 2; 4; 8 ]
 
-let ablation_landmarks ?obs ?(seed = 1) ?(n_nodes = 2048) () =
-  List.map
-    (fun (landmark_m, hilbert_order) ->
+let ablation_landmarks ?pool ?obs ?(seed = 1) ?(n_nodes = 2048) () =
+  sweep ?pool ?obs
+    [ (4, 8); (6, 5); (8, 4); (15, 2); (15, 4); (30, 1) ]
+    (fun (landmark_m, hilbert_order) obs ->
       let config = { Scenario.default with n_nodes; landmark_m } in
       let s = Scenario.build ~seed config in
       let cc = { Controller.default with Controller.hilbert_order } in
@@ -631,7 +681,6 @@ let ablation_landmarks ?obs ?(seed = 1) ?(n_nodes = 2048) () =
         hilbert_order,
         Controller.cdf_at o ~hops:2,
         Controller.cdf_at o ~hops:10 ))
-    [ (4, 8); (6, 5); (8, 4); (15, 2); (15, 4); (30, 1) ]
 
 type overhead_row = {
   o_nodes : int;
@@ -642,9 +691,10 @@ type overhead_row = {
   o_transfers : int;
 }
 
-let overhead ?obs ?(seed = 1) () =
-  List.map
-    (fun n_nodes ->
+let overhead ?pool ?obs ?(seed = 1) () =
+  sweep ?pool ?obs
+    [ 512; 1024; 2048; 4096 ]
+    (fun n_nodes obs ->
       let config = { Scenario.default with n_nodes } in
       let s = Scenario.build ~seed config in
       let o = Controller.run ?obs s in
@@ -656,7 +706,6 @@ let overhead ?obs ?(seed = 1) () =
         o_restructure_messages = o.Controller.vst.Vst.restructure_messages;
         o_transfers = o.Controller.vst.Vst.transfers;
       })
-    [ 512; 1024; 2048; 4096 ]
 
 let render_overhead rows =
   Report.table
@@ -685,9 +734,10 @@ type durability_row = {
   d_bytes_copied : float;
 }
 
-let durability ?(seed = 1) ?(n_nodes = 512) ?(n_objects = 5000) () =
-  List.map
-    (fun r ->
+let durability ?pool ?(seed = 1) ?(n_nodes = 512) ?(n_objects = 5000) () =
+  sweep ?pool
+    [ 1; 2; 3; 4 ]
+    (fun r (_ : P2plb_obs.Obs.t option) ->
       let config = { Scenario.default with n_nodes } in
       let s = Scenario.build ~seed config in
       let dht = s.Scenario.dht in
@@ -710,7 +760,6 @@ let durability ?(seed = 1) ?(n_nodes = 512) ?(n_objects = 5000) () =
         d_lost_fraction = float_of_int stats.Store.lost /. float_of_int n_objects;
         d_bytes_copied = stats.Store.bytes_copied /. total;
       })
-    [ 1; 2; 3; 4 ]
 
 let render_durability rows =
   Report.table

@@ -12,7 +12,16 @@ module Transit_stub = P2plb_topology.Transit_stub
     Every experiment that drives load-balancing rounds accepts
     [?obs:P2plb_obs.Obs.t] and threads it into each round (see
     {!Controller.run}), so the CLI's [--trace-out] / [--metrics-out]
-    flags work uniformly; [None] leaves the runs untouched. *)
+    flags work uniformly; [None] leaves the runs untouched.
+
+    Experiments made of independent scenarios (the graph sweeps, size
+    sweeps, fault rows, ablations) also accept
+    [?pool:P2plb_sim.Par.t] and fan their tasks out over its domains
+    with {!P2plb_sim.Par.run}; results and sink contents are merged in
+    task-index order, so every return value and digest is byte-identical
+    to the default sequential pool (DESIGN.md §12).  [fig4]–[fig6],
+    [churn] and [load_drift] are single runs or inherently sequential
+    epoch chains and take no pool. *)
 
 type balance_result = {
   unit_before : float array;  (** load/capacity per node, node order *)
@@ -56,6 +65,7 @@ type proximity_result = {
 }
 
 val fig7 :
+  ?pool:P2plb_sim.Par.t ->
   ?obs:P2plb_obs.Obs.t ->
   ?seed:int -> ?graphs:int -> ?n_nodes:int -> unit -> proximity_result
 (** Figure 7: moved-load distance distribution and CDF on ts5k-large.
@@ -63,6 +73,7 @@ val fig7 :
     ignorant ≈13% within 10. *)
 
 val fig8 :
+  ?pool:P2plb_sim.Par.t ->
   ?obs:P2plb_obs.Obs.t ->
   ?seed:int -> ?graphs:int -> ?n_nodes:int -> unit -> proximity_result
 (** Figure 8: same on ts5k-small (nodes scattered Internet-wide). *)
@@ -76,7 +87,9 @@ type tvsa_result = {
       (** (N, tree depth, VSA rounds) per network size *)
 }
 
-val tvsa : ?obs:P2plb_obs.Obs.t -> ?seed:int -> k:int -> unit -> tvsa_result
+val tvsa :
+  ?pool:P2plb_sim.Par.t ->
+  ?obs:P2plb_obs.Obs.t -> ?seed:int -> k:int -> unit -> tvsa_result
 (** The O(log_K N) claim: VSA round count versus N for a K-nary
     tree, N in 256..4096. *)
 
@@ -92,6 +105,7 @@ type baseline_row = {
 }
 
 val baselines :
+  ?pool:P2plb_sim.Par.t ->
   ?obs:P2plb_obs.Obs.t -> ?seed:int -> ?n_nodes:int -> unit -> baseline_row list
 (** Our scheme (aware + ignorant) against CFS shedding and the three
     Rao et al. schemes, all on the same ts5k-large instance. *)
@@ -139,6 +153,7 @@ type resilience_row = {
 }
 
 val resilience :
+  ?pool:P2plb_sim.Par.t ->
   ?obs:P2plb_obs.Obs.t ->
   ?seed:int -> ?n_nodes:int -> ?max_rounds:int -> unit -> resilience_row list
 (** The fault-injection experiment: multiround balancing with node
@@ -155,27 +170,32 @@ val render_resilience : resilience_row list -> string
 (** {1 Ablations} *)
 
 val ablation_epsilon :
+  ?pool:P2plb_sim.Par.t ->
   ?obs:P2plb_obs.Obs.t ->
   ?seed:int -> ?n_nodes:int -> unit -> (float * int * float) list
 (** epsilon_rel sweep: (epsilon_rel, heavy_after, moved_fraction) —
     the trade-off §3.3 describes. *)
 
 val ablation_threshold :
+  ?pool:P2plb_sim.Par.t ->
   ?obs:P2plb_obs.Obs.t ->
   ?seed:int -> ?n_nodes:int -> unit -> (int * float * float) list
 (** Rendezvous-threshold sweep: (threshold, cdf@2, cdf@10). *)
 
 val ablation_curve :
+  ?pool:P2plb_sim.Par.t ->
   ?obs:P2plb_obs.Obs.t ->
   ?seed:int -> ?n_nodes:int -> unit -> (string * float * float) list
 (** Hilbert vs Morton vs row-major keys: (curve, cdf@2, cdf@10). *)
 
 val ablation_k :
+  ?pool:P2plb_sim.Par.t ->
   ?obs:P2plb_obs.Obs.t ->
   ?seed:int -> ?n_nodes:int -> unit -> (int * int * int * int) list
 (** Tree degree sweep: (K, depth, tree nodes, messages). *)
 
 val ablation_landmarks :
+  ?pool:P2plb_sim.Par.t ->
   ?obs:P2plb_obs.Obs.t ->
   ?seed:int -> ?n_nodes:int -> unit -> (int * int * float * float) list
 (** Landmark-count sweep (m, order, cdf@2, cdf@10): trades per-axis
@@ -191,7 +211,9 @@ type overhead_row = {
   o_transfers : int;
 }
 
-val overhead : ?obs:P2plb_obs.Obs.t -> ?seed:int -> unit -> overhead_row list
+val overhead :
+  ?pool:P2plb_sim.Par.t ->
+  ?obs:P2plb_obs.Obs.t -> ?seed:int -> unit -> overhead_row list
 (** The load-balancing {e cost} the paper argues about: message counts
     of each phase as the network grows (N in 512..4096). *)
 
@@ -206,6 +228,7 @@ type durability_row = {
 }
 
 val durability :
+  ?pool:P2plb_sim.Par.t ->
   ?seed:int -> ?n_nodes:int -> ?n_objects:int -> unit -> durability_row list
 (** The replicated-store substrate under churn: availability and loss
     for replication factors 1..4 when 20% of nodes crash at once. *)

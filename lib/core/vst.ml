@@ -119,8 +119,7 @@ let apply ?tree ?obs ?faults ~oracle dht assignments =
     (match obs with
     | None -> ()
     | Some o ->
-      Histogram.add
-        (P2plb_obs.Registry.histogram (P2plb_obs.Obs.metrics o) "vst/hop_cost")
+      P2plb_obs.Registry.hist_add (P2plb_obs.Obs.metrics o) "vst/hop_cost"
         ~bin:hops ~weight:v.Dht.load);
     moved_load := !moved_load +. v.Dht.load;
     incr transfers;

@@ -38,6 +38,9 @@ type meta = {
   m_graphs : int;
   m_seed : int;
   m_smoke : bool;
+  m_jobs : int;
+  m_wall_s : float;
+  m_speedup : float;
 }
 
 type file = {
@@ -87,8 +90,9 @@ let to_json f =
   let m = f.f_meta in
   Buffer.add_string buf
     (Printf.sprintf
-       "{\"k\":\"meta\",\"schema\":%d,\"rev\":\"%s\",\"nodes\":%d,\"graphs\":%d,\"seed\":%d,\"smoke\":%b}\n"
-       m.m_schema m.m_rev m.m_nodes m.m_graphs m.m_seed m.m_smoke);
+       "{\"k\":\"meta\",\"schema\":%d,\"rev\":\"%s\",\"nodes\":%d,\"graphs\":%d,\"seed\":%d,\"smoke\":%b,\"jobs\":%d,\"wall_s\":%s,\"speedup\":%s}\n"
+       m.m_schema m.m_rev m.m_nodes m.m_graphs m.m_seed m.m_smoke m.m_jobs
+       (fts m.m_wall_s) (fts m.m_speedup));
   List.iter
     (fun e ->
       let s = e.e_sim in
@@ -147,6 +151,18 @@ let bool_field fields k =
   | Trace.Int _ | Trace.Float _ | Trace.Str _ ->
     Error (Printf.sprintf "field %S is not a boolean" k)
 
+(* Parallel-execution meta fields postdate some committed records;
+   absent fields read as a sequential run, so schema 1 stays valid. *)
+let int_or fields k default =
+  match List.assoc_opt k fields with
+  | None -> Ok default
+  | Some _ -> int_field fields k
+
+let num_or fields k default =
+  match List.assoc_opt k fields with
+  | None -> Ok default
+  | Some _ -> num fields k
+
 let meta_of_fields fields =
   let* m_schema = int_field fields "schema" in
   let* m_rev = str fields "rev" in
@@ -154,7 +170,21 @@ let meta_of_fields fields =
   let* m_graphs = int_field fields "graphs" in
   let* m_seed = int_field fields "seed" in
   let* m_smoke = bool_field fields "smoke" in
-  Ok { m_schema; m_rev; m_nodes; m_graphs; m_seed; m_smoke }
+  let* m_jobs = int_or fields "jobs" 1 in
+  let* m_wall_s = num_or fields "wall_s" 0.0 in
+  let* m_speedup = num_or fields "speedup" 1.0 in
+  Ok
+    {
+      m_schema;
+      m_rev;
+      m_nodes;
+      m_graphs;
+      m_seed;
+      m_smoke;
+      m_jobs;
+      m_wall_s;
+      m_speedup;
+    }
 
 let experiment_of_fields fields =
   let* e_name = str fields "name" in
@@ -281,6 +311,12 @@ let diff gate ~baseline ~current =
   let checked = ref 0 in
   let flag fmt = Printf.ksprintf (fun s -> regress := s :: !regress) fmt in
   let over base cur = Float.compare (pct_over ~base ~cur) gate.g_max_regress_pct > 0 in
+  (* cpu/alloc comparisons are only like-with-like at equal domain
+     counts: a 4-domain run burns more total cpu per experiment than
+     the sequential baseline even when it is strictly faster. *)
+  if baseline.f_meta.m_jobs <> current.f_meta.m_jobs then
+    flag "job counts differ (baseline --jobs %d, current --jobs %d): not comparable"
+      baseline.f_meta.m_jobs current.f_meta.m_jobs;
   List.iter
     (fun (b : experiment) ->
       match

@@ -40,6 +40,15 @@ type meta = {
   m_graphs : int;
   m_seed : int;
   m_smoke : bool;
+  m_jobs : int;
+      (** [--jobs] domain count of the recording run; records written
+          before the parallel layer read back as [1] *)
+  m_wall_s : float;
+      (** wall-clock seconds of the figure phase (0 when unrecorded) *)
+  m_speedup : float;
+      (** total experiment cpu over wall — parallel utilisation; [1.0]
+          when unrecorded.  Like cpu/alloc, wall-clock-tainted and
+          excluded from {!sim_digest}. *)
 }
 
 type file = {
@@ -90,5 +99,7 @@ val diff : gate -> baseline:file -> current:file -> report
 (** Regressions: an experiment missing from the current run; cpu,
     alloc, transfers or messages above the threshold; convergence lost
     or reached in a later round; a micro-benchmark above the
-    threshold.  Benches missing from the current run are skipped
-    (smoke runs carry none). *)
+    threshold; or the two records disagreeing on [m_jobs] (cpu/alloc
+    comparisons are only like-with-like at equal domain counts).
+    Benches missing from the current run are skipped (smoke runs carry
+    none). *)

@@ -10,3 +10,14 @@ let create ?trace_version () =
 let trace t = t.trace
 let metrics t = t.metrics
 let series t = t.series
+
+let create_task parent ~start_time =
+  let trace = Trace.create () in
+  Trace.set_version trace (Trace.version parent.trace);
+  Trace.preset_time trace start_time;
+  { trace; metrics = Registry.create ~journal:true (); series = Timeseries.create () }
+
+let merge ~into child =
+  Trace.merge ~into:into.trace child.trace;
+  Registry.merge ~into:into.metrics child.metrics;
+  Timeseries.merge ~into:into.series child.series

@@ -16,3 +16,23 @@ val create : ?trace_version:int -> unit -> t
 val trace : t -> Trace.t
 val metrics : t -> Registry.t
 val series : t -> Timeseries.t
+
+(** {1 Task bundles} — parallel execution support (DESIGN.md §12)
+
+    A parallel runner gives every task a private bundle created with
+    {!create_task} (manual trace clock preset to the simulated time the
+    task would have started at sequentially, journaled registry), runs
+    the tasks on separate domains, then folds the children back with
+    {!merge} in task-index order.  Each sink's merge is constructed so
+    the fold reproduces the sequential recording byte-for-byte, which
+    is why [--jobs N] cannot move any digest pin. *)
+
+val create_task : t -> start_time:float -> t
+(** A private bundle for one task: same trace schema version as the
+    parent, manual clock at [start_time], journaled registry, fresh
+    series. *)
+
+val merge : into:t -> t -> unit
+(** {!Trace.merge}, {!Registry.merge} and {!Timeseries.merge} of the
+    child's sinks into [into]'s.  Call in task-index order; discard the
+    child afterwards. *)

@@ -1,43 +1,72 @@
 module Histogram = P2plb_metrics.Histogram
 
-type counter = { mutable c : int }
-type gauge = { mutable g : float }
+(* Handles carry their name and owner so journaled registries can log
+   every update as it happens; the journal is replayed in order by
+   [merge], which keeps float accumulation bit-exact across the
+   sequential/parallel boundary (see DESIGN.md §12). *)
+type counter = { c_name : string; c_owner : t; mutable c : int }
+and gauge = { g_name : string; g_owner : t; mutable g : float }
 
-type t = {
+and op =
+  | Op_add of string * int
+  | Op_set of string * float
+  | Op_accum of string * float
+  | Op_peak of string * float
+  | Op_hist of string * int * float
+
+and t = {
   counters : (string, counter) Hashtbl.t;
   gauges : (string, gauge) Hashtbl.t;
   hists : (string, Histogram.t) Hashtbl.t;
+  journaling : bool;
+  mutable journal : op list; (* newest first; empty unless journaling *)
 }
 
-let create () =
+let create ?(journal = false) () =
   {
     counters = Hashtbl.create 32;
     gauges = Hashtbl.create 32;
     hists = Hashtbl.create 8;
+    journaling = journal;
+    journal = [];
   }
+
+let log t op = if t.journaling then t.journal <- op :: t.journal
 
 let counter t name =
   match Hashtbl.find_opt t.counters name with
   | Some c -> c
   | None ->
-    let c = { c = 0 } in
+    let c = { c_name = name; c_owner = t; c = 0 } in
     Hashtbl.replace t.counters name c;
     c
 
-let add c n = c.c <- c.c + n
+let add c n =
+  c.c <- c.c + n;
+  log c.c_owner (Op_add (c.c_name, n))
+
 let count c = c.c
 
 let gauge t name =
   match Hashtbl.find_opt t.gauges name with
   | Some g -> g
   | None ->
-    let g = { g = 0.0 } in
+    let g = { g_name = name; g_owner = t; g = 0.0 } in
     Hashtbl.replace t.gauges name g;
     g
 
-let set g v = g.g <- v
-let accum g v = g.g <- g.g +. v
-let peak g v = if v > g.g then g.g <- v
+let set g v =
+  g.g <- v;
+  log g.g_owner (Op_set (g.g_name, v))
+
+let accum g v =
+  g.g <- g.g +. v;
+  log g.g_owner (Op_accum (g.g_name, v))
+
+let peak g v =
+  if v > g.g then g.g <- v;
+  log g.g_owner (Op_peak (g.g_name, v))
+
 let value g = g.g
 
 let histogram t name =
@@ -47,6 +76,21 @@ let histogram t name =
     let h = Histogram.create () in
     Hashtbl.replace t.hists name h;
     h
+
+let hist_add t name ~bin ~weight =
+  Histogram.add (histogram t name) ~bin ~weight;
+  log t (Op_hist (name, bin, weight))
+
+let merge ~into child =
+  List.iter
+    (fun op ->
+      match op with
+      | Op_add (name, n) -> add (counter into name) n
+      | Op_set (name, v) -> set (gauge into name) v
+      | Op_accum (name, v) -> accum (gauge into name) v
+      | Op_peak (name, v) -> peak (gauge into name) v
+      | Op_hist (name, bin, weight) -> hist_add into name ~bin ~weight)
+    (List.rev child.journal)
 
 let find_counter t name = Option.map count (Hashtbl.find_opt t.counters name)
 let find_gauge t name = Option.map value (Hashtbl.find_opt t.gauges name)

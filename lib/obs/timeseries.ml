@@ -91,6 +91,18 @@ let record t ~round ~time ~epsilon ~unit_loads ~fair ~moved ~total_load =
   t.rev_samples <- s :: t.rev_samples;
   s
 
+(* Append a child series, recomputing the cumulative column as the
+   sequential left-fold would have: each child sample's moved load is
+   added to the parent's running [cum] in order, so the merged series
+   is bit-identical to recording the same samples on the parent
+   directly. *)
+let merge ~into:parent child =
+  List.iter
+    (fun s ->
+      parent.cum <- parent.cum +. s.ts_moved;
+      parent.rev_samples <- { s with ts_cum = parent.cum } :: parent.rev_samples)
+    (samples child)
+
 (* ---- convergence detector ---------------------------------------------- *)
 
 type verdict =

@@ -46,6 +46,12 @@ val record :
 (** Computes the derived statistics, accumulates the cumulative moved
     load, appends and returns the sample. *)
 
+val merge : into:t -> t -> unit
+(** Appends the child's samples to [into], re-deriving each [ts_cum]
+    from [into]'s running cumulative total (bit-exact float left-fold),
+    so merging task series in task-index order matches a sequential
+    recording byte-for-byte (DESIGN.md §12). *)
+
 (** {1 Pure statistics} (usable without a collector, e.g. by Chaos) *)
 
 val max_load : float array -> float

@@ -64,6 +64,13 @@ val set_time : t -> float -> unit
 (** Advances the manual logical clock (engine-less runs advance it at
     the controller's phase barriers).  Uninstalls any clock. *)
 
+val preset_time : t -> float -> unit
+(** Sets the manual clock {e without} counting as a clock touch: events
+    recorded before the first {!set_clock}/{!set_time} are treated as
+    preset-stamped and re-stamped onto the parent's running clock by
+    {!merge}.  Used by task bundles ({!Obs.create_task}), whose true
+    start time is only known once the preceding tasks have run. *)
+
 val now : t -> float
 
 val point : t -> ?attrs:(string * value) list -> string -> unit
@@ -82,6 +89,20 @@ val events : t -> ev list
 (** The stable in-memory form: all events in recording order. *)
 
 val n_events : t -> int
+
+val merge : into:t -> t -> unit
+(** [merge ~into child] appends the child's events to [into], offsetting
+    sequence numbers by [into]'s event count and span ids by [into]'s
+    span count ([-1] sentinels preserved), and leaves [into]'s manual
+    clock at the child's final time (an untouched child leaves [into]'s
+    clock alone).  Events the child recorded before it first touched
+    its own clock are re-stamped with [into]'s clock at merge time —
+    the value the shared clock would have held when a sequential run
+    recorded them.  Merging finished task traces in task-index order
+    therefore yields a trace byte-identical — digest included — to
+    recording the same events sequentially on [into] (DESIGN.md §12).
+    Raises [Invalid_argument] if the child still has open spans.  The
+    child should be discarded afterwards. *)
 
 (** {1 JSONL sink} *)
 

@@ -126,21 +126,75 @@ let run_seed ?obs ~n_nodes ~max_rounds ~seed () =
     },
     r )
 
-let soak ?obs ?(n_nodes = 256) ?(max_rounds = 3) ?(seeds = 64)
-    ?(base_seed = 1) () =
+let soak ?(pool = P2plb_sim.Par.sequential) ?obs ?(n_nodes = 256)
+    ?(max_rounds = 3) ?(seeds = 64) ?(base_seed = 1) () =
   if seeds < 1 then invalid_arg "Chaos.soak: seeds < 1";
-  let rec go i acc =
-    if i >= seeds then (List.rev acc, None)
-    else begin
-      let outcome, _ =
-        run_seed ?obs ~n_nodes ~max_rounds ~seed:(base_seed + i) ()
+  let outcomes, failure =
+    if P2plb_sim.Par.jobs pool <= 1 || seeds <= 1 then begin
+      (* Sequential: stop at the first violation — seeds after it are
+         never run, which the parallel path reproduces by discarding
+         their (already computed) outcomes and sink bundles. *)
+      let rec go i acc =
+        if i >= seeds then (List.rev acc, None)
+        else begin
+          let outcome, _ =
+            run_seed ?obs ~n_nodes ~max_rounds ~seed:(base_seed + i) ()
+          in
+          match outcome.o_violation with
+          | Some _ -> (List.rev (outcome :: acc), Some outcome)
+          | None -> go (i + 1) (outcome :: acc)
+        end
       in
-      match outcome.o_violation with
-      | Some _ -> (List.rev (outcome :: acc), Some outcome)
-      | None -> go (i + 1) (outcome :: acc)
+      go 0 []
+    end
+    else begin
+      (* Every chaos mix has transfer-path faults enabled, so each seed
+         runs on its own fault engine and restarts simulated time: the
+         private bundles' preset start time is just the parent clock.
+         All seeds run (work past a failure is wasted by design); the
+         report and the merged sinks keep only seeds up to and
+         including the first failure, byte-identical to the sequential
+         early exit. *)
+      let children =
+        match obs with
+        | None -> [||]
+        | Some parent ->
+          let t0 = P2plb_obs.Trace.now (P2plb_obs.Obs.trace parent) in
+          Array.init seeds (fun _ ->
+              P2plb_obs.Obs.create_task parent ~start_time:t0)
+      in
+      let task_obs i =
+        if Array.length children = 0 then None else Some children.(i)
+      in
+      let results =
+        (* p2plint: allow-obs — children bundles are threaded per seed by hand because the merge must truncate at the first failing seed *)
+        P2plb_sim.Par.run pool ~n:seeds (fun i (_ : P2plb_obs.Obs.t option) ->
+            let outcome, _ =
+              run_seed ?obs:(task_obs i) ~n_nodes ~max_rounds
+                ~seed:(base_seed + i) ()
+            in
+            outcome)
+      in
+      let first_failure = ref None in
+      Array.iteri
+        (fun i o ->
+          match (o.o_violation, !first_failure) with
+          | Some _, None -> first_failure := Some i
+          | _ -> ())
+        results;
+      let keep =
+        match !first_failure with Some i -> i + 1 | None -> seeds
+      in
+      (match obs with
+      | None -> ()
+      | Some parent ->
+        for i = 0 to keep - 1 do
+          P2plb_obs.Obs.merge ~into:parent children.(i)
+        done);
+      ( List.init keep (fun i -> results.(i)),
+        Option.map (fun i -> results.(i)) !first_failure )
     end
   in
-  let outcomes, failure = go 0 [] in
   { base_seed; seeds_requested = seeds; n_nodes; max_rounds; outcomes; failure }
 
 let replay_hint ~n_nodes ~max_rounds seed =

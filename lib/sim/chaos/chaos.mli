@@ -73,6 +73,7 @@ val run_seed :
     round's crash budget). *)
 
 val soak :
+  ?pool:P2plb_sim.Par.t ->
   ?obs:P2plb_obs.Obs.t ->
   ?n_nodes:int ->
   ?max_rounds:int ->
@@ -82,7 +83,14 @@ val soak :
   report
 (** [soak ()] runs seeds [base_seed .. base_seed + seeds - 1]
     (defaults: 64 seeds from 1, 256 nodes, up to 3 rounds each),
-    stopping at the first invariant violation. *)
+    stopping at the first invariant violation.
+
+    With a multi-domain [?pool] the seeds run in parallel, one per
+    task ({!P2plb_sim.Par}); per-seed outcomes are buffered and the
+    report — and any [?obs] sinks — keep only the seeds up to and
+    including the first failure, in seed order, byte-identical to the
+    sequential early exit (seeds past a failure are computed and
+    discarded). *)
 
 val render : report -> string
 (** The soak table (one row per seed) plus aggregate fault counts and,

@@ -144,15 +144,17 @@ module Oracle = struct
   type t = {
     g : graph;
     cache : (int, int array) Hashtbl.t;
+    mutable probes : int;
   }
 
-  let create g = { g; cache = Hashtbl.create 64 }
+  let create g = { g; cache = Hashtbl.create 64; probes = 0 }
 
   let distance o ~src ~dst =
     let dists =
       match Hashtbl.find_opt o.cache src with
       | Some d -> d
       | None ->
+        o.probes <- o.probes + 1;
         let d = dijkstra o.g ~src in
         Hashtbl.add o.cache src d;
         d
@@ -160,4 +162,5 @@ module Oracle = struct
     dists.(dst)
 
   let sources_computed o = Hashtbl.length o.cache
+  let probes o = o.probes
 end

@@ -46,5 +46,12 @@ module Oracle : sig
 
   val create : graph -> t
   val distance : t -> src:int -> dst:int -> int
+
   val sources_computed : t -> int
+  (** Distinct sources with a cached distance vector. *)
+
+  val probes : t -> int
+  (** Dijkstra runs actually performed — repeated queries from one
+      source cost exactly one probe, which is the memoisation claim
+      the oracle unit tests pin. *)
 end

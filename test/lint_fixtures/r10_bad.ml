@@ -1,0 +1,19 @@
+(* R10 positives: every class of shared mutable state captured by a
+   task closure handed to Par.run — ref write, ref read, incr,
+   Hashtbl mutator, mutable record field. *)
+
+let total = ref 0
+let hits = ref 0
+let seen : (int, int) Hashtbl.t = Hashtbl.create 8
+
+type acc = { mutable count : int }
+
+let shared = { count = 0 }
+
+let bad pool =
+  Par.run pool ~n:4 (fun i _ ->
+      total := !total + i;
+      incr hits;
+      Hashtbl.replace seen i i;
+      shared.count <- i;
+      i)

@@ -1,0 +1,20 @@
+(* R10 negatives: task-local state inside the closure, results
+   returned and merged after Par.run, and the same mutations outside
+   any Par.run application. *)
+
+let ok pool =
+  let results =
+    Par.run pool ~n:4 (fun i _ ->
+        let local = ref 0 in
+        local := i;
+        let tally = Hashtbl.create 4 in
+        Hashtbl.replace tally i !local;
+        !local)
+  in
+  Array.fold_left ( + ) 0 results
+
+let outside_any_task () =
+  let c = ref 0 in
+  c := 1;
+  incr c;
+  !c

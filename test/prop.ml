@@ -1,0 +1,169 @@
+(* Deterministic property-based testing harness.
+
+   Generation draws from the repo's own PRNG (P2plb_prng.Prng), never
+   Stdlib.Random, so every run — and every failure — reproduces from
+   the printed case seed alone.  Shrinking is structural, greedy and
+   step-bounded.  Deliberately dependency-free: keeping the harness
+   in-tree pins its determinism to the same contract as the code under
+   test. *)
+
+module Prng = P2plb_prng.Prng
+
+type 'a arb = {
+  gen : Prng.t -> 'a;
+  shrink : 'a -> 'a list;  (* candidate strictly-smaller values *)
+  print : 'a -> string;
+}
+
+let make ?(shrink = fun _ -> []) ~print gen = { gen; shrink; print }
+
+(* Builds [f 0; ...; f (n-1)] applying [f] left to right — List.init
+   leaves the evaluation order unspecified, which would let generator
+   draws depend on the stdlib's whims. *)
+let init_in_order n f =
+  let rec go i acc = if i >= n then List.rev acc else go (i + 1) (f i :: acc) in
+  go 0 []
+
+(* ---- generators --------------------------------------------------------- *)
+
+let int_in lo hi =
+  if lo > hi then invalid_arg "Prop.int_in";
+  {
+    gen = (fun rng -> Prng.int_in rng ~lo ~hi);
+    shrink =
+      (fun n ->
+        List.sort_uniq Int.compare
+          (List.filter
+             (fun c -> c <> n && c >= lo && c <= hi)
+             [ lo; lo + ((n - lo) / 2); n - 1 ]));
+    print = string_of_int;
+  }
+
+let float_in lo hi =
+  if Float.compare lo hi > 0 then invalid_arg "Prop.float_in";
+  {
+    gen = (fun rng -> lo +. Prng.float rng (hi -. lo));
+    shrink =
+      (fun x ->
+        List.filter
+          (fun c -> Float.compare c x < 0 && Float.compare c lo >= 0)
+          [ lo; lo +. ((x -. lo) /. 2.0) ]);
+    print = (fun x -> Printf.sprintf "%.17g" x);
+  }
+
+let pair a b =
+  {
+    gen =
+      (fun rng ->
+        let x = a.gen rng in
+        let y = b.gen rng in
+        (x, y));
+    shrink =
+      (fun (x, y) ->
+        List.map (fun x' -> (x', y)) (a.shrink x)
+        @ List.map (fun y' -> (x, y')) (b.shrink y));
+    print = (fun (x, y) -> Printf.sprintf "(%s, %s)" (a.print x) (b.print y));
+  }
+
+let triple a b c =
+  {
+    gen =
+      (fun rng ->
+        let x = a.gen rng in
+        let y = b.gen rng in
+        let z = c.gen rng in
+        (x, y, z));
+    shrink =
+      (fun (x, y, z) ->
+        List.map (fun x' -> (x', y, z)) (a.shrink x)
+        @ List.map (fun y' -> (x, y', z)) (b.shrink y)
+        @ List.map (fun z' -> (x, y, z')) (c.shrink z));
+    print =
+      (fun (x, y, z) ->
+        Printf.sprintf "(%s, %s, %s)" (a.print x) (b.print y) (c.print z));
+  }
+
+let list_of ?(min_len = 0) ~max_len elt =
+  if min_len < 0 || min_len > max_len then invalid_arg "Prop.list_of";
+  let shrink l =
+    let n = List.length l in
+    let keep p = List.filteri (fun i _ -> p i) l in
+    let halves =
+      if n > min_len && n >= 2 then
+        [ keep (fun i -> i < n / 2); keep (fun i -> i >= n / 2) ]
+      else []
+    in
+    let removals =
+      if n > min_len then init_in_order n (fun i -> keep (fun j -> j <> i))
+      else []
+    in
+    let elementwise =
+      List.concat
+        (init_in_order n (fun i ->
+             List.map
+               (fun c -> List.mapi (fun j x -> if j = i then c else x) l)
+               (elt.shrink (List.nth l i))))
+    in
+    List.filter (fun c -> List.length c >= min_len) (halves @ removals)
+    @ elementwise
+  in
+  {
+    gen =
+      (fun rng ->
+        let n = Prng.int_in rng ~lo:min_len ~hi:max_len in
+        init_in_order n (fun _ -> elt.gen rng));
+    shrink;
+    print =
+      (fun l -> "[" ^ String.concat "; " (List.map elt.print l) ^ "]");
+  }
+
+(* ---- runner -------------------------------------------------------------- *)
+
+(* A property that raises is a falsification, not a crash of the
+   harness: the exception text is attached to the (shrunk)
+   counterexample.  Uses [match]'s exception clause, so no exception
+   escapes unreported. *)
+let holds prop case =
+  match prop case with b -> (b, None) | exception e -> (false, Some (Printexc.to_string e))
+
+let run ?(count = 200) ?(max_shrink_steps = 500) ~seed ~name arb prop =
+  for i = 0 to count - 1 do
+    let case_seed = seed + i in
+    let rng = Prng.create ~seed:case_seed in
+    let case = arb.gen rng in
+    let ok, exn = holds prop case in
+    if not ok then begin
+      (* Greedy shrink: repeatedly move to the first candidate that
+         still falsifies, until none does or the step budget runs out. *)
+      let current = ref case in
+      let exn_msg = ref exn in
+      let steps = ref 0 in
+      let improved = ref true in
+      while !improved do
+        improved := false;
+        try
+          List.iter
+            (fun c ->
+              if !steps < max_shrink_steps then begin
+                incr steps;
+                let ok', exn' = holds prop c in
+                if not ok' then begin
+                  current := c;
+                  exn_msg := exn';
+                  improved := true;
+                  raise Exit
+                end
+              end)
+            (arb.shrink !current)
+        with Exit -> ()
+      done;
+      Alcotest.fail
+        (Printf.sprintf
+           "property '%s' falsified (case %d, case seed %d)\n\
+           \  counterexample%s: %s%s"
+           name i case_seed
+           (if !steps > 0 then " (shrunk)" else "")
+           (arb.print !current)
+           (match !exn_msg with None -> "" | Some e -> "\n  raised: " ^ e))
+    end
+  done

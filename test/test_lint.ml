@@ -100,6 +100,23 @@ let test_r6_outside_lib () =
   check Alcotest.int "same writes outside lib/ pass" 0
     (List.length (lint "r6_outside.ml"))
 
+(* ---- R10 --------------------------------------------------------------- *)
+
+let test_r10_hits () =
+  let vs = lint "r10_bad.ml" in
+  check Alcotest.int
+    "ref write+read, incr, Hashtbl mutator, field write all flagged" 5
+    (List.length vs);
+  check Alcotest.bool "all are R10" true (all_rule "R10" vs)
+
+let test_r10_clean () =
+  check Alcotest.int "task-local state and outside-task mutation pass" 0
+    (List.length (lint "r10_ok.ml"))
+
+let test_r10_suppressed () =
+  check Alcotest.int "reasoned allow-r10 passes" 0
+    (List.length (lint "r10_suppressed.ml"))
+
 (* ---- R5 ---------------------------------------------------------------- *)
 
 let test_r5_missing_mli () =
@@ -228,12 +245,13 @@ let test_explain () =
 
 (* ---- diagnostics format ------------------------------------------------ *)
 
-let diag_re = Str.regexp {|^[^:]+\.ml:[0-9]+: \[R[1-9]\] .+|}
+let diag_re = Str.regexp {|^[^:]+\.ml:[0-9]+: \[R[0-9]+\] .+|}
 
 let test_diagnostic_format () =
   let vs =
     lint "r1_bad.ml" @ lint "r3_bad.ml" @ lint "r4_bad.ml"
     @ lint (Filename.concat "lib" "r6_bad.ml")
+    @ lint "r10_bad.ml"
     @ Taint.analyze (taintprog ())
     @ Protocol.analyze (Callgraph.load [ fixture "protocol" ])
   in
@@ -286,6 +304,12 @@ let () =
           Alcotest.test_case "clean pass" `Quick test_r6_clean;
           Alcotest.test_case "suppressed pass" `Quick test_r6_suppressed;
           Alcotest.test_case "outside lib/ pass" `Quick test_r6_outside_lib;
+        ] );
+      ( "r10-domains",
+        [
+          Alcotest.test_case "positive hits" `Quick test_r10_hits;
+          Alcotest.test_case "clean pass" `Quick test_r10_clean;
+          Alcotest.test_case "suppressed pass" `Quick test_r10_suppressed;
         ] );
       ( "r7-taint",
         [

@@ -380,6 +380,9 @@ let mk_record ?(cpu = 1.0) ?(conv = 1) () =
         m_graphs = 1;
         m_seed = 7;
         m_smoke = true;
+        m_jobs = 1;
+        m_wall_s = 0.0;
+        m_speedup = 1.0;
       };
     f_experiments =
       [
@@ -451,7 +454,31 @@ let test_benchgate_diff () =
     (List.length (regressions (diff (mk_record ~conv:(-1) ()))) >= 1);
   let gone = { (mk_record ()) with Benchgate.f_experiments = [] } in
   check Alcotest.bool "missing experiment flagged" true
-    (List.length (regressions (diff gone)) >= 1)
+    (List.length (regressions (diff gone)) >= 1);
+  let cur = mk_record () in
+  let jobs4 =
+    { cur with
+      Benchgate.f_meta = { cur.Benchgate.f_meta with Benchgate.m_jobs = 4 } }
+  in
+  check Alcotest.bool "job-count mismatch flagged (not like-with-like)" true
+    (List.exists
+       (fun r -> String.length r >= 10 && String.sub r 0 10 = "job counts")
+       (regressions (diff jobs4)))
+
+let test_benchgate_legacy_meta_defaults () =
+  (* records written before the parallel layer carry no jobs/wall_s/
+     speedup fields; they must parse as a sequential run so the
+     committed baseline stays valid without a schema bump *)
+  let legacy =
+    "{\"k\":\"meta\",\"schema\":1,\"rev\":\"old\",\"nodes\":256,\"graphs\":1,\"seed\":7,\"smoke\":true}\n\
+     {\"k\":\"experiment\",\"name\":\"smoke\",\"cpu_s\":1,\"alloc_bytes\":1,\"rounds\":1,\"conv_round\":1,\"final_ratio\":1,\"moved_frac\":0,\"transfers\":0,\"messages\":0,\"series_digest\":\"d\"}\n"
+  in
+  match Benchgate.parse legacy with
+  | Error e -> Alcotest.fail ("legacy record rejected: " ^ e)
+  | Ok f ->
+    check Alcotest.int "jobs defaults to 1" 1 f.Benchgate.f_meta.Benchgate.m_jobs;
+    check feq "wall_s defaults to 0" 0.0 f.Benchgate.f_meta.Benchgate.m_wall_s;
+    check feq "speedup defaults to 1" 1.0 f.Benchgate.f_meta.Benchgate.m_speedup
 
 (* ---- registry ----------------------------------------------------------- *)
 
@@ -654,6 +681,8 @@ let () =
             test_benchgate_sim_digest_ignores_wall_clock;
           Alcotest.test_case "gate flags regressions" `Quick
             test_benchgate_diff;
+          Alcotest.test_case "legacy meta parses with defaults" `Quick
+            test_benchgate_legacy_meta_defaults;
         ] );
       ( "registry",
         [

@@ -1,0 +1,91 @@
+(* Graph.Oracle: the memoising distance oracle.
+
+   Two claims under test: agreement (the oracle returns exactly what a
+   fresh Dijkstra returns, on random graphs and random pairs) and
+   memoisation (repeated queries from one source cost exactly one
+   Dijkstra, observed through the probe counter). *)
+
+module Prng = P2plb_prng.Prng
+module Graph = P2plb_topology.Graph
+
+let check = Alcotest.check
+
+(* A connected random graph: a ring (guarantees connectivity, so no
+   max_int distances muddy the comparison) plus random chords, with
+   random small weights throughout. *)
+let random_graph rng ~n ~extra =
+  let b = Graph.create_builder ~n in
+  for i = 0 to n - 1 do
+    Graph.add_edge b i ((i + 1) mod n) ~weight:(1 + Prng.int rng 3)
+  done;
+  for _ = 1 to extra do
+    let u = Prng.int rng n and v = Prng.int rng n in
+    if u <> v then Graph.add_edge b u v ~weight:(1 + Prng.int rng 3)
+  done;
+  Graph.freeze b
+
+let test_agrees_with_dijkstra () =
+  let rng = Prng.create ~seed:0x0a1e in
+  for _ = 1 to 20 do
+    let n = 8 + Prng.int rng 25 in
+    let g = random_graph rng ~n ~extra:(n / 2) in
+    let o = Graph.Oracle.create g in
+    for _ = 1 to 30 do
+      let src = Prng.int rng n and dst = Prng.int rng n in
+      check Alcotest.int
+        (Printf.sprintf "distance %d -> %d" src dst)
+        (Graph.distance g ~src ~dst)
+        (Graph.Oracle.distance o ~src ~dst)
+    done
+  done
+
+let test_one_probe_per_source () =
+  let rng = Prng.create ~seed:0x0a1f in
+  let n = 32 in
+  let g = random_graph rng ~n ~extra:16 in
+  let o = Graph.Oracle.create g in
+  check Alcotest.int "fresh oracle has run nothing" 0 (Graph.Oracle.probes o);
+  (* Many queries, one source: exactly one Dijkstra. *)
+  for dst = 0 to n - 1 do
+    ignore (Graph.Oracle.distance o ~src:5 ~dst)
+  done;
+  check Alcotest.int "one source, one probe" 1 (Graph.Oracle.probes o);
+  check Alcotest.int "one source cached" 1 (Graph.Oracle.sources_computed o);
+  (* A second source adds exactly one more. *)
+  ignore (Graph.Oracle.distance o ~src:9 ~dst:0);
+  ignore (Graph.Oracle.distance o ~src:9 ~dst:1);
+  ignore (Graph.Oracle.distance o ~src:5 ~dst:7);
+  check Alcotest.int "two sources, two probes" 2 (Graph.Oracle.probes o);
+  check Alcotest.int "two sources cached" 2 (Graph.Oracle.sources_computed o)
+
+let test_probes_match_sources () =
+  let rng = Prng.create ~seed:0x0a20 in
+  let n = 24 in
+  let g = random_graph rng ~n ~extra:12 in
+  let o = Graph.Oracle.create g in
+  (* Random query mix: however the queries interleave, probe count must
+     equal the number of distinct sources seen. *)
+  let seen = Hashtbl.create 16 in
+  for _ = 1 to 200 do
+    let src = Prng.int rng n and dst = Prng.int rng n in
+    Hashtbl.replace seen src ();
+    ignore (Graph.Oracle.distance o ~src ~dst)
+  done;
+  check Alcotest.int "probes = distinct sources" (Hashtbl.length seen)
+    (Graph.Oracle.probes o);
+  check Alcotest.int "sources_computed agrees" (Hashtbl.length seen)
+    (Graph.Oracle.sources_computed o)
+
+let () =
+  Alcotest.run "oracle"
+    [
+      ( "oracle",
+        [
+          Alcotest.test_case "agrees with Graph.distance" `Quick
+            test_agrees_with_dijkstra;
+          Alcotest.test_case "one probe per source" `Quick
+            test_one_probe_per_source;
+          Alcotest.test_case "probes = distinct sources" `Quick
+            test_probes_match_sources;
+        ] );
+    ]

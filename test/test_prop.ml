@@ -1,0 +1,232 @@
+(* Property-based tests over the harness in prop.ml.
+
+   Three algebraic cores of the balancing scheme get randomised
+   coverage here: the wrap-around interval algebra of Region, the
+   minimality contract of Excess.choose_shed, and load conservation
+   through Pairing.pair.  Every property is driven by the in-tree
+   Prop harness (seeded from lib/prng), so a failure reproduces from
+   the printed case seed alone. *)
+
+module Id = P2plb_idspace.Id
+module Region = P2plb_idspace.Region
+module Excess = P2plb.Excess
+module Pairing = P2plb.Pairing
+module Types = P2plb.Types
+
+(* ---- Region: wrap-around interval algebra ------------------------------- *)
+
+(* (start, len, offset): an arbitrary arc and an arbitrary ring point
+   expressed as a clockwise offset from the arc's start — the offset
+   form makes the expected answer a single integer comparison. *)
+let region_point =
+  Prop.triple
+    (Prop.int_in 0 (Id.space_size - 1))
+    (Prop.int_in 0 Id.space_size)
+    (Prop.int_in 0 (Id.space_size - 1))
+
+let prop_region_contains (start, len, k) =
+  let r = Region.make ~start:(Id.of_int start) ~len in
+  Bool.equal (Region.contains r (Id.add (Id.of_int start) k)) (k < len)
+
+(* (start, len, parts) for the split laws. *)
+let region_split =
+  Prop.triple
+    (Prop.int_in 0 (Id.space_size - 1))
+    (Prop.int_in 0 Id.space_size)
+    (Prop.int_in 1 8)
+
+let prop_region_split_partitions (start, len, k) =
+  let r = Region.make ~start:(Id.of_int start) ~len in
+  let parts = Region.split r k in
+  let lens = Array.to_list (Array.map Region.len parts) in
+  let total = List.fold_left ( + ) 0 lens in
+  let lo = List.fold_left Int.min Id.space_size lens in
+  let hi = List.fold_left Int.max 0 lens in
+  let consecutive = ref (Array.length parts = k) in
+  for i = 0 to Array.length parts - 2 do
+    let expected =
+      Id.add (Region.start parts.(i)) (Region.len parts.(i))
+    in
+    if not (Id.equal (Region.start parts.(i + 1)) expected) then
+      consecutive := false
+  done;
+  Array.length parts = k
+  && total = len
+  && hi - lo <= 1
+  && Id.equal (Region.start parts.(0)) (Region.start r)
+  && !consecutive
+  && Array.for_all (fun p -> Region.covers ~outer:r ~inner:p) parts
+
+(* Every contained point lands in exactly one part of a split. *)
+let prop_region_split_disjoint (start, len, (k, joff)) =
+  if len = 0 then true
+  else begin
+    let r = Region.make ~start:(Id.of_int start) ~len in
+    let parts = Region.split r k in
+    let pt = Id.add (Id.of_int start) (joff mod len) in
+    let hits =
+      Array.fold_left
+        (fun acc p -> if Region.contains p pt then acc + 1 else acc)
+        0 parts
+    in
+    hits = 1
+  end
+
+let region_split_point =
+  Prop.triple
+    (Prop.int_in 0 (Id.space_size - 1))
+    (Prop.int_in 0 Id.space_size)
+    (Prop.pair (Prop.int_in 1 8) (Prop.int_in 0 (Id.space_size - 1)))
+
+let test_region_contains () =
+  Prop.run ~seed:0x5eed01 ~name:"region wrap-around containment"
+    region_point prop_region_contains
+
+let test_region_split () =
+  Prop.run ~seed:0x5eed02 ~name:"region split partitions"
+    region_split prop_region_split_partitions
+
+let test_region_split_disjoint () =
+  Prop.run ~seed:0x5eed03 ~name:"region split parts are disjoint"
+    region_split_point prop_region_split_disjoint
+
+(* ---- Excess: shed-choice minimality ------------------------------------- *)
+
+(* 1..8 strictly positive VS loads (inside the exact-enumeration
+   regime, exact_threshold = 16) and a need expressed as a fraction of
+   the total, allowed to exceed what keep_at_least = 1 can cover. *)
+let excess_case =
+  Prop.pair
+    (Prop.list_of ~min_len:1 ~max_len:8 (Prop.float_in 0.05 1.0))
+    (Prop.float_in 0.0 1.5)
+
+let prop_excess_minimal (loads, frac) =
+  let n = List.length loads in
+  let total = List.fold_left ( +. ) 0.0 loads in
+  let need = frac *. total in
+  let arr = Array.of_list (List.mapi (fun i l -> (Id.of_int i, l)) loads) in
+  let chosen = Excess.choose_shed ~loads:arr need in
+  let st = Excess.shed_total chosen in
+  let ids = List.map fst chosen in
+  let distinct =
+    List.length (List.sort_uniq Id.compare ids) = List.length ids
+  in
+  let from_input =
+    List.for_all
+      (fun (id, l) ->
+        Array.exists
+          (fun (id', l') -> Id.equal id id' && Float.equal l l')
+          arr)
+      chosen
+  in
+  let keeps_one = List.length chosen <= n - 1 in
+  let contract =
+    if Float.compare need 0.0 <= 0 then List.is_empty chosen
+    else if Float.compare st need >= 0 then
+      (* Covered: the chosen set is minimal — dropping any member
+         leaves the node heavy again. *)
+      List.for_all (fun (_, l) -> Float.compare (st -. l) need < 0) chosen
+    else
+      (* Infeasible under keep_at_least = 1: best effort sheds the
+         largest allowed subset, i.e. all but one VS. *)
+      List.length chosen = n - 1
+  in
+  distinct && from_input && keeps_one && contract
+
+let test_excess_minimal () =
+  Prop.run ~seed:0x5eed04 ~name:"choose_shed minimality & best-effort"
+    excess_case prop_excess_minimal
+
+(* ---- Pairing: load conservation ----------------------------------------- *)
+
+(* Arbitrary offered VSs and light slots.  l_min is pinned at the
+   generator's load floor so every offered VS is eligible. *)
+let pairing_case =
+  Prop.pair
+    (Prop.list_of ~max_len:12 (Prop.float_in 0.05 1.0))
+    (Prop.list_of ~max_len:12 (Prop.float_in 0.05 2.0))
+
+let prop_pairing_conserves (shed_loads, deficits) =
+  let sheds =
+    List.mapi
+      (fun i l ->
+        { Types.vs_load = l; vs_id = Id.of_int (1000 + i); heavy_node = i })
+      shed_loads
+  in
+  let lights =
+    List.mapi
+      (fun i d -> { Types.deficit = d; light_node = 100 + i })
+      deficits
+  in
+  let pool = Pairing.of_entries sheds lights in
+  let assignments, residual = Pairing.pair ~l_min:0.05 pool in
+  let placed =
+    List.fold_left (fun acc a -> acc +. a.Types.a_load) 0.0 assignments
+  in
+  let residual_shed =
+    List.fold_left
+      (fun acc (s : Types.shed_vs) -> acc +. s.vs_load)
+      0.0
+      (Pairing.shed_entries residual)
+  in
+  let offered = List.fold_left ( +. ) 0.0 shed_loads in
+  (* Shed-side conservation: every offered unit of load is either
+     placed by an assignment or still waiting in the residual pool.
+     (The light side is *not* conserved: residual deficits below l_min
+     are dropped by design.) *)
+  let conserved =
+    Float.compare
+      (Float.abs (offered -. (placed +. residual_shed)))
+      1e-9
+    < 0
+  in
+  let vs_ids = List.map (fun a -> a.Types.a_vs_id) assignments in
+  let assigned_once =
+    List.length (List.sort_uniq Id.compare vs_ids) = List.length vs_ids
+  in
+  let counts_add_up =
+    List.length assignments + Pairing.n_shed residual
+    = List.length shed_loads
+  in
+  let endpoints_from_input =
+    List.for_all
+      (fun (a : Types.assignment) ->
+        List.exists
+          (fun (s : Types.shed_vs) ->
+            Id.equal s.vs_id a.a_vs_id
+            && Float.equal s.vs_load a.a_load
+            && s.heavy_node = a.a_from)
+          sheds
+        && List.exists
+             (fun (l : Types.light_slot) -> l.light_node = a.a_to)
+             lights)
+      assignments
+  in
+  conserved && assigned_once && counts_add_up && endpoints_from_input
+
+let test_pairing_conserves () =
+  Prop.run ~seed:0x5eed05 ~name:"pairing conserves shed load"
+    pairing_case prop_pairing_conserves
+
+let () =
+  Alcotest.run "prop"
+    [
+      ( "region",
+        [
+          Alcotest.test_case "wrap-around containment" `Quick
+            test_region_contains;
+          Alcotest.test_case "split partitions" `Quick test_region_split;
+          Alcotest.test_case "split parts disjoint" `Quick
+            test_region_split_disjoint;
+        ] );
+      ( "excess",
+        [
+          Alcotest.test_case "choose_shed minimality" `Quick
+            test_excess_minimal;
+        ] );
+      ( "pairing",
+        [
+          Alcotest.test_case "shed-load conservation" `Quick
+            test_pairing_conserves;
+        ] );
+    ]

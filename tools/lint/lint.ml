@@ -49,6 +49,7 @@ let rule_of_keyword = function
   | "allow-taint" -> Some "R7"
   | "allow-protocol" -> Some "R8"
   | "allow-obs" -> Some "R9"
+  | "allow-r10" -> Some "R10"
   | _ -> None
 
 let find_sub s sub =
@@ -390,6 +391,95 @@ let check_try ctx cases =
            failures: match the specific exceptions instead")
     cases
 
+(* ---- R10: domain discipline ------------------------------------------- *)
+
+(* Task closures handed to [Par.run] execute on worker domains, so a
+   ref cell, Hashtbl or mutable record field captured from the
+   enclosing scope is mutated without synchronisation — a data race,
+   or at best results that depend on domain scheduling.  The check is
+   syntactic: inside a function literal that is an argument of a
+   [Par.run] application we flag ref reads/writes ([!], [:=],
+   [incr]/[decr]), [Hashtbl] mutators and mutable-field writes whose
+   subject identifier is not bound anywhere inside the closure itself.
+   Index-disjoint [Array] writes — the sanctioned way to return
+   per-task results — are deliberately not flagged. *)
+
+let hashtbl_mutators = [ "add"; "replace"; "remove"; "reset"; "clear" ]
+
+let is_par_run path =
+  match List.rev path with "run" :: "Par" :: _ -> true | _ -> false
+
+let r10_scan ctx closure =
+  let locals : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let collect =
+    let super = Ast_iterator.default_iterator in
+    let pat (iter : Ast_iterator.iterator) p =
+      (match p.ppat_desc with
+      | Ppat_var { txt; _ } -> Hashtbl.replace locals txt ()
+      | Ppat_alias (_, { txt; _ }) -> Hashtbl.replace locals txt ()
+      | _ -> ());
+      super.pat iter p
+    in
+    { super with pat }
+  in
+  collect.expr collect closure;
+  let captured x = not (Hashtbl.mem locals x) in
+  let flag loc what x =
+    add ctx loc "R10"
+      (Printf.sprintf
+         "%s '%s' captured from outside a Par.run task closure: tasks run on \
+          separate domains, so shared mutable state races; keep the state \
+          inside the closure, return it from the task and merge after \
+          Par.run, or annotate with (* p2plint: allow-r10 — <reason> *)"
+         what x)
+  in
+  let super = Ast_iterator.default_iterator in
+  let expr (iter : Ast_iterator.iterator) e =
+    (match e.pexp_desc with
+    | Pexp_apply
+        ( { pexp_desc = Pexp_ident { txt = Longident.Lident ":="; loc }; _ },
+          (_, { pexp_desc = Pexp_ident { txt = Longident.Lident x; _ }; _ })
+          :: _ )
+      when captured x ->
+      flag loc "assignment to ref" x
+    | Pexp_apply
+        ( {
+            pexp_desc =
+              Pexp_ident
+                { txt = Longident.Lident (("incr" | "decr") as f); loc };
+            _;
+          },
+          [ (_, { pexp_desc = Pexp_ident { txt = Longident.Lident x; _ }; _ }) ]
+        )
+      when captured x ->
+      flag loc (Printf.sprintf "'%s' of ref" f) x
+    | Pexp_apply
+        ( { pexp_desc = Pexp_ident { txt = Longident.Lident "!"; loc }; _ },
+          [ (_, { pexp_desc = Pexp_ident { txt = Longident.Lident x; _ }; _ }) ]
+        )
+      when captured x ->
+      flag loc "read of ref" x
+    | Pexp_setfield
+        ({ pexp_desc = Pexp_ident { txt = Longident.Lident x; loc }; _ }, _, _)
+      when captured x ->
+      flag loc "mutable-field write on" x
+    | Pexp_apply
+        ( { pexp_desc = Pexp_ident { txt; loc }; _ },
+          (_, { pexp_desc = Pexp_ident { txt = Longident.Lident h; _ }; _ })
+          :: _ ) -> (
+      match flatten_lid txt with
+      | [ "Hashtbl"; fn ]
+      | [ "Stdlib"; "Hashtbl"; fn ]
+      | [ "MoreLabels"; "Hashtbl"; fn ]
+        when List.mem fn hashtbl_mutators && captured h ->
+        flag loc (Printf.sprintf "Hashtbl.%s on table" fn) h
+      | _ -> ())
+    | _ -> ());
+    super.expr iter e
+  in
+  let it = { super with expr } in
+  it.expr it closure
+
 let make_iterator ctx =
   let super = Ast_iterator.default_iterator in
   let expr (iter : Ast_iterator.iterator) e =
@@ -400,6 +490,13 @@ let make_iterator ctx =
       ctx.open_depth <- ctx.open_depth - 1
     | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args) ->
       check_lid ctx loc txt ~args:(Some (List.map snd args));
+      if is_par_run (flatten_lid txt) then
+        List.iter
+          (fun (_, a) ->
+            match a.pexp_desc with
+            | Pexp_fun _ | Pexp_function _ -> r10_scan ctx a
+            | _ -> ())
+          args;
       List.iter (fun (_, a) -> iter.expr iter a) args
     | Pexp_ident { txt; loc } -> check_lid ctx loc txt ~args:None
     | Pexp_try (body, cases) ->

@@ -216,6 +216,16 @@ let explain rule =
        trace spans and metrics), and a begin_span in a function body \
        must be matched by an end_span — or use Trace.with_span.  \
        Suppress: (* p2plint: allow-obs — <reason> *)."
+  | "R10" ->
+    Some
+      "R10 — domain discipline.  A task closure passed to Par.run \
+       executes on a worker domain; refs, Hashtbls and mutable record \
+       fields captured from the enclosing scope are then shared across \
+       domains without synchronisation — a data race, or results that \
+       depend on scheduling.  Keep the state task-local, return it from \
+       the task and merge after Par.run (index-disjoint Array writes \
+       are fine and not flagged).  \
+       Suppress: (* p2plint: allow-r10 — <reason> *)."
   | "PARSE" ->
     Some
       "PARSE — the file failed to parse; the linter cannot analyse it. \
@@ -224,7 +234,7 @@ let explain rule =
   | _ -> None
 
 let all_rules =
-  [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7"; "R8"; "R9"; "PARSE" ]
+  [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7"; "R8"; "R9"; "R10"; "PARSE" ]
 
 (* ---- whole-program driver ---------------------------------------------- *)
 
