@@ -415,6 +415,27 @@ let run_bechamel () =
    two runs without paying for the full figure sweep. *)
 let smoke_nodes = env_int "P2PLB_SMOKE_NODES" 256
 
+(* Scale-tier rows (--scale): one observed row per size, covering the
+   Gaussian + Pareto convergence pair of Experiments.scale_run.  The
+   default gate size is the smallest tier (32768) so @bench-gate stays
+   minutes, not hours; P2PLB_SCALE_NODES (comma-separated) widens it. *)
+let scale_sizes =
+  match Sys.getenv_opt "P2PLB_SCALE_NODES" with
+  | None -> [ 32768 ]
+  | Some s ->
+    List.filter_map int_of_string_opt (String.split_on_char ',' s)
+
+let scale () =
+  List.iter
+    (fun n ->
+      section (Printf.sprintf "Scale tier (%d nodes, Gaussian + Pareto)" n);
+      observed
+        (Printf.sprintf "scale/%d" n)
+        (fun obs ->
+          print_string
+            (E.render_scale (E.scale_run ~pool ~obs ~seed ~sizes:[ n ] ()))))
+    scale_sizes
+
 let smoke () =
   section (Printf.sprintf "Smoke (multi-round convergence, %d nodes)" smoke_nodes);
   observed "smoke/convergence" (fun obs ->
@@ -492,6 +513,7 @@ let () =
   let skip_figures = flag "--bench-only" in
   let skip_bench = flag "--figures-only" in
   let smoke_only = flag "--smoke" in
+  let with_scale = flag "--scale" in
   let no_json = flag "--no-json" in
   let json_path =
     match arg_value "--json-out" with
@@ -503,8 +525,9 @@ let () =
      with P2PLB_NODES / P2PLB_GRAPHS / P2PLB_SEED / --jobs)\n"
     n_nodes graphs seed jobs;
   if smoke_only then walled smoke
-  else begin
+  else if not with_scale then begin
     if not skip_figures then walled figures;
     if not skip_bench then run_bechamel ()
   end;
+  if with_scale then walled scale;
   if not no_json then emit_json ~smoke:smoke_only json_path

@@ -228,6 +228,9 @@ let do_chaos ~pool obs base_seed seeds n_nodes max_rounds replay =
 let do_overhead ~pool obs seed =
   print_string (E.render_overhead (E.overhead ~pool ?obs ~seed ()))
 
+let do_scale ~pool obs seed sizes rounds =
+  print_string (E.render_scale (E.scale_run ~pool ?obs ~seed ~sizes ~rounds ()))
+
 let do_durability ~pool _obs seed n_nodes =
   print_string (E.render_durability (E.durability ~pool ~seed ~n_nodes ()))
 
@@ -351,6 +354,9 @@ let run_chaos seed seeds n rounds replay jobs sinks =
 let run_verify seed n sinks = sinked (fun obs -> do_verify obs seed n) sinks
 let run_overhead seed jobs sinks =
   sinked (fun obs -> do_overhead ~pool:(pool_of_jobs jobs) obs seed) sinks
+
+let run_scale seed sizes rounds jobs sinks =
+  sinked (fun obs -> do_scale ~pool:(pool_of_jobs jobs) obs seed sizes rounds) sinks
 
 let run_durability seed n jobs sinks =
   sinked (fun obs -> do_durability ~pool:(pool_of_jobs jobs) obs seed n) sinks
@@ -512,6 +518,25 @@ let overhead_cmd =
   cmd "overhead" "Per-phase message cost of one LB round vs network size."
     Term.(const run_overhead $ seed_arg $ jobs_arg $ sink_arg)
 
+let scale_cmd =
+  let sizes_arg =
+    let doc =
+      "Comma-separated overlay sizes to sweep (each runs both the Gaussian \
+       and the Pareto workload to convergence)."
+    in
+    Arg.(
+      value & opt (list int) E.scale_sizes & info [ "sizes" ] ~docv:"N,.." ~doc)
+  in
+  let rounds_arg =
+    let doc = "Maximum balancing rounds per run." in
+    Arg.(value & opt int 8 & info [ "rounds" ] ~docv:"R" ~doc)
+  in
+  cmd "scale"
+    "Scale tier: run the balancer to convergence at 32k/65k/131k nodes \
+     (distance accounting off — the hot paths, not the Dijkstra oracle, \
+     are under test) and report rounds, residual heavies, moved load."
+    Term.(const run_scale $ seed_arg $ sizes_arg $ rounds_arg $ jobs_arg $ sink_arg)
+
 let ablations_cmd =
   cmd "ablations" "Design-choice sweeps: epsilon, threshold, curve, K."
     Term.(const run_ablations $ seed_arg $ nodes_arg 2048 $ jobs_arg $ sink_arg)
@@ -603,6 +628,7 @@ let () =
         durability_cmd;
         drift_cmd;
         overhead_cmd;
+        scale_cmd;
         verify_cmd;
         ablations_cmd;
         all_cmd;

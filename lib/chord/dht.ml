@@ -26,6 +26,22 @@ type 'a t = {
   mutable next_node_id : int;
   mutable lookup_count : int;
   mutable hop_count : int;
+  (* Alive-node cache: nodes in join (= increasing node_id) order, so
+     the prefix [0, live_n) reproduces the historical
+     Hashtbl.fold + sort order exactly.  Departures only mark entries
+     dead; the prefix is re-packed lazily before indexed access. *)
+  mutable live : node array;
+  mutable live_n : int;
+  mutable live_dead : int;
+  mutable n_alive : int;
+  (* Ring snapshot: all VS ids sorted ascending with the VS records in
+     a parallel array, rebuilt lazily after ring mutations.  Lets the
+     read-heavy routing paths (lookup, owner_of_key, region_of_vs)
+     binary-search without allocating Map query results.  [snap_n] < 0
+     means invalid. *)
+  mutable snap_ids : int array;
+  mutable snap_vss : vs array;
+  mutable snap_n : int;
 }
 
 let create ~seed =
@@ -37,6 +53,13 @@ let create ~seed =
     next_node_id = 0;
     lookup_count = 0;
     hop_count = 0;
+    live = [||];
+    live_n = 0;
+    live_dead = 0;
+    n_alive = 0;
+    snap_ids = [||];
+    snap_vss = [||];
+    snap_n = -1;
   }
 
 let node t id =
@@ -47,15 +70,43 @@ let node t id =
 let is_alive t id =
   match Hashtbl.find_opt t.nodes id with Some n -> n.alive | None -> false
 
-let n_nodes t =
-  (* p2plint: allow-unordered — commutative integer count, order-free *)
-  Hashtbl.fold (fun _ n acc -> if n.alive then acc + 1 else acc) t.nodes 0
+let n_nodes t = t.n_alive
 
 let n_vs t = Ring_map.cardinal t.ring
 
+(* --- Alive-node cache ------------------------------------------------- *)
+
+let live_append t n =
+  let cap = Array.length t.live in
+  if t.live_n = cap then begin
+    let bigger = Array.make (if cap = 0 then 1024 else 2 * cap) n in
+    Array.blit t.live 0 bigger 0 t.live_n;
+    t.live <- bigger
+  end;
+  t.live.(t.live_n) <- n;
+  t.live_n <- t.live_n + 1
+
+let live_compact t =
+  if t.live_dead > 0 then begin
+    let j = ref 0 in
+    for i = 0 to t.live_n - 1 do
+      let n = t.live.(i) in
+      if n.alive then begin
+        t.live.(!j) <- n;
+        incr j
+      end
+    done;
+    t.live_n <- !j;
+    t.live_dead <- 0
+  end
+
 let alive_nodes t =
-  let all = Hashtbl.fold (fun _ n acc -> if n.alive then n :: acc else acc) t.nodes [] in
-  List.sort (fun a b -> Int.compare a.node_id b.node_id) all
+  live_compact t;
+  let acc = ref [] in
+  for i = t.live_n - 1 downto 0 do
+    acc := t.live.(i) :: !acc
+  done;
+  !acc
 
 let dead_nodes t =
   let all =
@@ -63,17 +114,91 @@ let dead_nodes t =
   in
   List.sort (fun a b -> Int.compare a.node_id b.node_id) all
 
-let fold_nodes t ~init ~f = List.fold_left f init (alive_nodes t)
+let fold_nodes t ~init ~f =
+  live_compact t;
+  let acc = ref init in
+  for i = 0 to t.live_n - 1 do
+    acc := f !acc t.live.(i)
+  done;
+  !acc
+
+let alive_nth t i =
+  live_compact t;
+  if i < 0 || i >= t.live_n then invalid_arg "Dht.alive_nth";
+  t.live.(i)
+
+(* --- Ring snapshot ---------------------------------------------------- *)
+
+let snap_invalidate t = t.snap_n <- -1
+
+let snap_refresh t =
+  if t.snap_n < 0 then begin
+    let n = Ring_map.cardinal t.ring in
+    if n = 0 then t.snap_n <- 0
+    else begin
+      if Array.length t.snap_ids < n then begin
+        let cap = Int.max 16 (Int.max n (2 * Array.length t.snap_ids)) in
+        let fill =
+          (* ids are >= 0, so successor(0) is the smallest binding *)
+          match Ring_map.successor 0 t.ring with
+          | Some (_, v) -> v
+          | None -> assert false
+        in
+        t.snap_ids <- Array.make cap 0;
+        t.snap_vss <- Array.make cap fill
+      end;
+      let i = ref 0 in
+      Ring_map.iter
+        (fun k v ->
+          t.snap_ids.(!i) <- k;
+          t.snap_vss.(!i) <- v;
+          incr i)
+        t.ring;
+      t.snap_n <- n
+    end
+  end
+
+(* Index of the first snapshot id >= k, or snap_n if none. *)
+let snap_lower_bound t k =
+  let ids = t.snap_ids in
+  let lo = ref 0 and hi = ref t.snap_n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) lsr 1 in
+    if ids.(mid) >= k then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+(* successor(k): first id >= k, wrapping to the smallest. *)
+let snap_successor_idx t k =
+  let i = snap_lower_bound t k in
+  if i = t.snap_n then 0 else i
+
+(* predecessor_strict(k): last id < k, wrapping to the largest. *)
+let snap_predecessor_strict_idx t k =
+  let i = snap_lower_bound t k in
+  if i = 0 then t.snap_n - 1 else i - 1
 
 let fold_vs t ~init ~f =
   Ring_map.fold (fun _ v acc -> f acc v) t.ring init
 
 let vs_of_id t id = Ring_map.find_opt id t.ring
 
-let predecessor_id t id =
+(* Map-based predecessor/region, for use while the ring is mid-mutation
+   (insert/delete) where a snapshot refresh per call would cost O(n). *)
+let predecessor_id_map t id =
   match Ring_map.predecessor_strict id t.ring with
   | Some (p, _) -> p
   | None -> id (* single VS: whole ring *)
+
+let region_of_vs_map t v =
+  let pred = predecessor_id_map t v.vs_id in
+  if pred = v.vs_id then Region.whole
+  else Region.between_excl_incl ~lo:pred ~hi:v.vs_id
+
+let predecessor_id t id =
+  snap_refresh t;
+  if t.snap_n = 0 then id (* single VS: whole ring *)
+  else t.snap_ids.(snap_predecessor_strict_idx t id)
 
 let region_of_vs t v =
   let pred = predecessor_id t v.vs_id in
@@ -81,9 +206,9 @@ let region_of_vs t v =
   else Region.between_excl_incl ~lo:pred ~hi:v.vs_id
 
 let owner_of_key t k =
-  match Ring_map.successor k t.ring with
-  | Some (_, v) -> v
-  | None -> invalid_arg "Dht.owner_of_key: empty ring"
+  snap_refresh t;
+  if t.snap_n = 0 then invalid_arg "Dht.owner_of_key: empty ring"
+  else t.snap_vss.(snap_successor_idx t k)
 
 let set_vs_load _t v load =
   if load < 0.0 then invalid_arg "Dht.set_vs_load: negative load";
@@ -108,7 +233,10 @@ let total_capacity t =
 let random_vs_of_node _t rng n =
   match n.vss with
   | [] -> invalid_arg "Dht.random_vs_of_node: node hosts no VS"
-  | vss -> Prng.choose rng (Array.of_list vss)
+  | vss ->
+    (* Same single bounded draw as Prng.choose on an array copy, without
+       materialising the array. *)
+    List.nth vss (Prng.int rng (List.length vss))
 
 let report_vs t rng n =
   match n.vss with
@@ -130,10 +258,10 @@ let fresh_vs_id t ~node_id ~index =
 let insert_vs t v =
   (match Ring_map.successor_strict v.vs_id t.ring with
   | Some (_, succ) when succ.vs_id <> v.vs_id ->
-    let old_region = region_of_vs t succ in
+    let old_region = region_of_vs_map t succ in
     let old_len = Region.len old_region in
     if old_len > 0 then begin
-      let pred = predecessor_id t succ.vs_id in
+      let pred = predecessor_id_map t succ.vs_id in
       let stolen_len =
         if pred = succ.vs_id then
           (* succ owned the whole ring; new vs takes all but succ's arc *)
@@ -146,7 +274,8 @@ let insert_vs t v =
       v.load <- v.load +. moved
     end
   | _ -> ());
-  t.ring <- Ring_map.add v.vs_id v t.ring
+  t.ring <- Ring_map.add v.vs_id v t.ring;
+  snap_invalidate t
 
 let join t ~capacity ~underlay ~n_vs =
   if capacity <= 0.0 then invalid_arg "Dht.join: capacity <= 0";
@@ -155,6 +284,8 @@ let join t ~capacity ~underlay ~n_vs =
   t.next_node_id <- node_id + 1;
   let n = { node_id; underlay; capacity; alive = true; vss = [] } in
   Hashtbl.add t.nodes node_id n;
+  live_append t n;
+  t.n_alive <- t.n_alive + 1;
   for index = 0 to n_vs - 1 do
     let vs_id = fresh_vs_id t ~node_id ~index in
     let v = { vs_id; owner = node_id; load = 0.0 } in
@@ -168,6 +299,7 @@ let delete_vs_absorb t v =
   if Ring_map.cardinal t.ring <= 1 then
     invalid_arg "Dht.remove_vs: cannot remove the last VS";
   t.ring <- Ring_map.remove v.vs_id t.ring;
+  snap_invalidate t;
   (match Ring_map.successor v.vs_id t.ring with
   | Some (_, succ) -> succ.load <- succ.load +. v.load
   | None -> assert false);
@@ -179,7 +311,9 @@ let depart t id =
   if n.alive then begin
     List.iter (fun v -> delete_vs_absorb t v) n.vss;
     n.vss <- [];
-    n.alive <- false
+    n.alive <- false;
+    t.live_dead <- t.live_dead + 1;
+    t.n_alive <- t.n_alive - 1
   end
 
 let leave = depart
@@ -207,16 +341,16 @@ let transfer_vs t ~vs_id ~to_node =
 
 (* Greedy Chord routing evaluated against the current ring: from VS
    [cur], the closest preceding finger of [key] is the largest
-   successor(cur + 2^k) lying strictly inside (cur, key). *)
+   successor(cur + 2^k) lying strictly inside (cur, key).  Runs on the
+   ring snapshot (caller refreshes); returns -1 when no finger
+   qualifies, avoiding an option allocation per probe. *)
 let closest_preceding_finger t ~cur ~key =
-  let best = ref None in
+  let best = ref (-1) in
   let k = ref (Id.bits - 1) in
-  while !best = None && !k >= 0 do
+  while !best < 0 && !k >= 0 do
     let target = Id.add cur (1 lsl !k) in
-    (match Ring_map.successor target t.ring with
-    | Some (fid, _) when Id.in_range_excl_excl fid ~lo:cur ~hi:key ->
-      best := Some fid
-    | _ -> ());
+    let fid = t.snap_ids.(snap_successor_idx t target) in
+    if Id.in_range_excl_excl fid ~lo:cur ~hi:key then best := fid;
     decr k
   done;
   !best
@@ -226,40 +360,40 @@ let lookup t ~from ~key =
   if not (Ring_map.mem from t.ring) then
     invalid_arg "Dht.lookup: unknown source VS";
   t.lookup_count <- t.lookup_count + 1;
+  snap_refresh t;
+  let from_vs () = t.snap_vss.(snap_successor_idx t from) in
   let pred_from = predecessor_id t from in
   if Id.in_range_excl_incl key ~lo:pred_from ~hi:from
      && (pred_from <> from || key = from)
-  then ((match vs_of_id t from with Some v -> v | None -> assert false), 0)
-  else if pred_from = from then
-    (* single VS owns everything *)
-    ((match vs_of_id t from with Some v -> v | None -> assert false), 0)
+  then (from_vs (), 0)
+  else if pred_from = from then (* single VS owns everything *)
+    (from_vs (), 0)
   else begin
     let hops = ref 0 in
     let cur = ref from in
-    let result = ref None in
-    while !result = None do
-      let succ_id =
-        match Ring_map.successor_strict !cur t.ring with
-        | Some (sid, _) -> sid
-        | None -> assert false
-      in
+    let result = ref (-1) in
+    while !result < 0 do
+      let si = snap_successor_idx t (!cur + 1) in
+      let succ_id = t.snap_ids.(si) in
       if Id.in_range_excl_incl key ~lo:!cur ~hi:succ_id then begin
         incr hops;
-        result := vs_of_id t succ_id
+        result := si
       end
       else begin
-        match closest_preceding_finger t ~cur:!cur ~key with
-        | Some next ->
+        let next = closest_preceding_finger t ~cur:!cur ~key in
+        if next >= 0 then begin
           incr hops;
           cur := next
-        | None ->
+        end
+        else begin
           (* No finger strictly precedes the key: hand to successor. *)
           incr hops;
           cur := succ_id
+        end
       end
     done;
     t.hop_count <- t.hop_count + !hops;
-    ((match !result with Some v -> v | None -> assert false), !hops)
+    (t.snap_vss.(!result), !hops)
   end
 
 let put t ~from ~key payload =

@@ -74,6 +74,13 @@ val fold_vs : 'a t -> init:'acc -> f:('acc -> vs -> 'acc) -> 'acc
 val alive_nodes : 'a t -> node list
 (** In increasing [node_id] order. *)
 
+val alive_nth : 'a t -> int -> node
+(** [alive_nth t i] is the [i]-th alive node in increasing [node_id]
+    order — [List.nth (alive_nodes t) i] without building the list.
+    O(1) amortised (nodes are cached in join order; departures repack
+    the cache lazily).  Raises [Invalid_argument] when [i] is out of
+    range. *)
+
 val dead_nodes : 'a t -> node list
 (** Departed/crashed nodes, in increasing [node_id] order — for
     live-node-scoped invariant checks. *)

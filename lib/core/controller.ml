@@ -14,6 +14,7 @@ type config = {
   curve : Hilbert.curve;
   binning : P2plb_landmark.Landmark.binning;
   route_messages : bool;
+  account_distance : bool;
 }
 
 let default =
@@ -26,6 +27,7 @@ let default =
     curve = Hilbert.Hilbert;
     binning = P2plb_landmark.Landmark.Equal_width;
     route_messages = false;
+    account_distance = true;
   }
 
 type outcome = {
@@ -192,7 +194,9 @@ let run ?(config = default) ?faults ?engine ?obs (s : Scenario.t) =
       ]
   in
   let vst =
-    Vst.apply ~tree ?obs ?faults ~oracle:s.Scenario.oracle dht
+    Vst.apply ~tree ?obs ?faults
+      ?oracle:(if config.account_distance then Some s.Scenario.oracle else None)
+      dht
       vsa.Vsa.assignments
   in
   let census_after = Classify.census ~lbi ~epsilon dht in

@@ -37,11 +37,16 @@ type config = {
   binning : P2plb_landmark.Landmark.binning;
   route_messages : bool;
       (** charge Chord routing hops for tree construction *)
+  account_distance : bool;
+      (** price committed transfers in underlay hops via the distance
+          oracle (default).  The scale tier turns this off: per-source
+          Dijkstra vectors over a 100k-vertex underlay would dominate
+          the run, and the balance metrics do not need them. *)
 }
 
 val default : config
 (** k = 2, epsilon_rel = 0.05, threshold = 30, proximity on,
-    order = 2, Hilbert curve. *)
+    order = 2, Hilbert curve, distance accounting on. *)
 
 type outcome = {
   lbi : Types.lbi;

@@ -9,12 +9,15 @@ let check_loads loads =
     (fun (_, l) -> if l < 0.0 then invalid_arg "Excess.choose_shed: negative load")
     loads
 
-(* Largest [allowed] loads — the best-effort answer when [need] cannot
-   be covered. *)
-let top_loads loads allowed =
+let sort_desc loads =
   let sorted = Array.copy loads in
   Array.sort (fun (_, a) (_, b) -> Float.compare b a) sorted;
-  Array.to_list (Array.sub sorted 0 allowed)
+  sorted
+
+(* Largest [allowed] loads — the best-effort answer when [need] cannot
+   be covered.  Takes the descending copy so callers can share one
+   sort. *)
+let top_loads sorted allowed = Array.to_list (Array.sub sorted 0 allowed)
 
 let exact loads ~need ~allowed =
   let n = Array.length loads in
@@ -95,19 +98,20 @@ let single_cover loads ~need =
 
 (* Greedy candidate: keep the largest VSs that fit under the residual
    budget, shed the rest. *)
-let keep_side loads ~need ~allowed =
+let keep_side loads ~sorted ~need ~allowed =
   let total = Array.fold_left (fun acc (_, l) -> acc +. l) 0.0 loads in
   let budget = total -. need in
-  let sorted = Array.copy loads in
-  Array.sort (fun (_, a) (_, b) -> Float.compare b a) sorted;
   let kept_sum = ref 0.0 in
-  let shed = ref [] in
+  let shed = ref [] and n_shed = ref 0 in
   Array.iter
     (fun (id, l) ->
       if !kept_sum +. l <= budget then kept_sum := !kept_sum +. l
-      else shed := (id, l) :: !shed)
+      else begin
+        shed := (id, l) :: !shed;
+        incr n_shed
+      end)
     sorted;
-  if List.length !shed <= allowed && total -. !kept_sum >= need then Some !shed
+  if !n_shed <= allowed && total -. !kept_sum >= need then Some !shed
   else None
 
 let choose_shed ?(keep_at_least = 1) ~loads need =
@@ -119,20 +123,23 @@ let choose_shed ?(keep_at_least = 1) ~loads need =
   else if n < exact_threshold then begin
     match exact loads ~need ~allowed with
     | Some s -> s
-    | None -> top_loads loads allowed
+    | None -> top_loads (sort_desc loads) allowed
   end
   else begin
+    (* One descending copy shared by keep_side and the best-effort
+       fallback. *)
+    let sorted = sort_desc loads in
     let candidates =
       List.filter_map
         (fun c -> c)
         [
           single_cover loads ~need;
           ascending_cover loads ~need ~allowed;
-          keep_side loads ~need ~allowed;
+          keep_side loads ~sorted ~need ~allowed;
         ]
     in
     match candidates with
-    | [] -> top_loads loads allowed
+    | [] -> top_loads sorted allowed
     | _ :: _ ->
       List.fold_left
         (fun best c ->

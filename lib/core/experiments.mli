@@ -254,3 +254,44 @@ val render_load_drift : drift_row list -> string
 
 val render_sweep :
   title:string -> header:string list -> string list list -> string
+
+(** {1 The scale tier} *)
+
+type scale_row = {
+  sc_nodes : int;
+  sc_workload : string;  (** ["gaussian"] or ["pareto"] *)
+  sc_heavy_before : int;  (** heavy census before the first round *)
+  sc_heavy_after : int;   (** heavy census after the last round run *)
+  sc_rounds : int;        (** rounds actually run *)
+  sc_converged : bool;    (** no heavy node remained *)
+  sc_fixed_point : bool;
+      (** a round moved no load while heavies remained: each residual
+          heavy holds a single VS whose load already exceeds the
+          node's (near-zero) fair target, so VS transfer alone cannot
+          fix it — the known granularity limit of the paper's scheme *)
+  sc_moved_fraction : float;
+      (** cumulative per-round moved-load fractions *)
+  sc_tree_depth : int;
+}
+
+val scale_sizes : int list
+(** [32768; 65536; 131072] — the default sweep, 8–32x the paper's
+    4096. *)
+
+val scale_run :
+  ?pool:P2plb_sim.Par.t ->
+  ?obs:P2plb_obs.Obs.t ->
+  ?seed:int -> ?sizes:int list -> ?rounds:int -> unit -> scale_row list
+(** The scale tier: for each size (on a {!Transit_stub.scaled}
+    underlay) and each of the Gaussian and Pareto workloads, repeat
+    full LB rounds on the mutating DHT until convergence (no heavy
+    node remains), a fixed point (a round moves nothing — see
+    [sc_fixed_point]), or [rounds] (default 8) rounds have run.
+    Underlay-hop transfer pricing is disabled
+    ({!Controller.config.account_distance}): per-source Dijkstra
+    vectors over a >100k-vertex underlay would dominate the run
+    without informing the balance metrics.  Tasks fan out over
+    [pool]; results are in task order (sizes major, workloads
+    minor). *)
+
+val render_scale : scale_row list -> string

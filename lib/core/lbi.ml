@@ -31,25 +31,70 @@ let aggregate ~rng ?faults ?(route_messages = false) tree dht =
      redundant per-node reports); the VS hands the report to its
      designated KT leaf. *)
   let assignment = Ktree.leaf_assignment tree in
-  let per_leaf : (P2plb_idspace.Id.t, Types.lbi list) Hashtbl.t =
-    Hashtbl.create 1024
-  in
+  (* Arrival-ordered (leaf slot, report) pairs, grouped per leaf slot
+     by a stable counting sort — replaces the per-leaf Hashtbl of
+     reverse-arrival report lists. *)
+  let cap = ref 0 and n_reports = ref 0 in
+  let rep_slot = ref [||] in
+  let rep_lbi = ref ([||] : Types.lbi array) in
   Dht.fold_nodes dht ~init:() ~f:(fun () n ->
       let v = Dht.report_vs dht rng n in
       if reliable faults then
         match Hashtbl.find_opt assignment v.Dht.vs_id with
         | None -> () (* cannot happen: every VS hosts a leaf *)
         | Some leaf ->
-          let key = leaf.Ktree.key in
-          let existing =
-            match Hashtbl.find_opt per_leaf key with Some l -> l | None -> []
-          in
-          Hashtbl.replace per_leaf key (node_lbi n :: existing));
+          let slot = Ktree.leaf_slot leaf in
+          if slot >= 0 then begin
+            let r = node_lbi n in
+            if !n_reports = !cap then begin
+              let c = if !cap = 0 then 1024 else 2 * !cap in
+              let slots = Array.make c 0 and lbis = Array.make c r in
+              Array.blit !rep_slot 0 slots 0 !n_reports;
+              Array.blit !rep_lbi 0 lbis 0 !n_reports;
+              cap := c;
+              rep_slot := slots;
+              rep_lbi := lbis
+            end;
+            !rep_slot.(!n_reports) <- slot;
+            !rep_lbi.(!n_reports) <- r;
+            incr n_reports
+          end);
+  let n_slots = Ktree.n_leaf_slots tree in
+  let starts = Array.make (n_slots + 1) 0 in
+  for i = 0 to !n_reports - 1 do
+    let s = !rep_slot.(i) in
+    starts.(s + 1) <- starts.(s + 1) + 1
+  done;
+  for s = 1 to n_slots do
+    starts.(s) <- starts.(s) + starts.(s - 1)
+  done;
+  let grouped =
+    if !n_reports = 0 then [||]
+    else begin
+      let g = Array.make !n_reports !rep_lbi.(0) in
+      let cursor = Array.copy starts in
+      for i = 0 to !n_reports - 1 do
+        let s = !rep_slot.(i) in
+        g.(cursor.(s)) <- !rep_lbi.(i);
+        cursor.(s) <- cursor.(s) + 1
+      done;
+      g
+    end
+  in
   Ktree.sweep_up tree
     ~at_leaf:(fun leaf ->
-      match Hashtbl.find_opt per_leaf leaf.Ktree.key with
-      | None -> zero_lbi
-      | Some reports -> List.fold_left Types.lbi_combine zero_lbi reports)
+      let slot = Ktree.leaf_slot leaf in
+      if slot < 0 then zero_lbi
+      else begin
+        (* The Hashtbl path folded the reverse-arrival report list, so
+           the float sums ran newest-first; iterate the arrival-ordered
+           slice backwards to keep the exact summation order. *)
+        let acc = ref zero_lbi in
+        for i = starts.(slot + 1) - 1 downto starts.(slot) do
+          acc := Types.lbi_combine !acc grouped.(i)
+        done;
+        !acc
+      end)
     ~combine:(fun node children ->
       (* An internal node's own leaf reports, if any (a KT node's key
          may coincide with a designated leaf only for leaves, so this

@@ -42,11 +42,10 @@ type result = {
    skipped (not retried) when it would empty the ring: the victim is
    the last alive node, or hosts every remaining VS. *)
 let crash_by_rank dht ~rank =
-  let alive = Dht.alive_nodes dht in
-  let n = List.length alive in
+  let n = Dht.n_nodes dht in
   if n > 1 then begin
     let idx = Int.min (n - 1) (int_of_float (rank *. float_of_int n)) in
-    let victim = List.nth alive idx in
+    let victim = Dht.alive_nth dht idx in
     if List.length victim.Dht.vss < Dht.n_vs dht then
       Dht.crash dht victim.Dht.node_id
   end

@@ -1,103 +1,254 @@
-(* Light slots, ordered by (deficit, tie-break id) so we can query the
-   smallest deficit >= a given load in O(log n). *)
-module Light_set = Set.Make (struct
-  type t = float * int * Types.node_id (* deficit, seq, node *)
+(* Rendezvous pairing pools as flat sorted arrays.
 
-  let compare (d1, s1, n1) (d2, s2, n2) =
-    match Float.compare d1 d2 with
-    | 0 -> ( match Int.compare s1 s2 with 0 -> Int.compare n1 n2 | c -> c)
-    | c -> c
-end)
+   Entries carry a sequence number assigned at insertion; collections
+   are kept sorted by (load desc, seq asc) for sheds and
+   (deficit asc, seq asc) for light slots.  Seqs are unique within a
+   pool, so those orders are total.  This is the array-backed
+   replacement for the original Set.Make pools: every observable order
+   (iteration heaviest-first, smallest-sufficient-deficit probing,
+   merge re-sequencing, leftover re-adds) reproduces the Set semantics
+   exactly — test/pairing_reference.ml retains a list-based port of
+   the original implementation and test_prop checks agreement. *)
 
-(* Shed VSs, ordered by (load desc, tie-break). *)
-module Shed_set = Set.Make (struct
-  type t = float * int * Types.shed_vs (* load, seq, record *)
+type pool = {
+  (* shed VSs, sorted by (load desc, seq asc); arrays are exact-size *)
+  s_load : floatarray;
+  s_seq : int array;
+  s_rec : Types.shed_vs array;
+  (* light slots, sorted by (deficit asc, seq asc) *)
+  l_def : floatarray;
+  l_seq : int array;
+  l_node : int array;
+  next_seq : int;
+}
 
-  let compare (l1, s1, _) (l2, s2, _) =
-    match Float.compare l2 l1 with 0 -> Int.compare s1 s2 | c -> c
-end)
-
-type pool = { shed : Shed_set.t; lights : Light_set.t; next_seq : int }
-
-let empty = { shed = Shed_set.empty; lights = Light_set.empty; next_seq = 0 }
-
-let is_empty p = Shed_set.is_empty p.shed && Light_set.is_empty p.lights
-
-let add_shed p (s : Types.shed_vs) =
+let empty =
   {
-    p with
-    shed = Shed_set.add (s.vs_load, p.next_seq, s) p.shed;
-    next_seq = p.next_seq + 1;
+    s_load = Float.Array.create 0;
+    s_seq = [||];
+    s_rec = [||];
+    l_def = Float.Array.create 0;
+    l_seq = [||];
+    l_node = [||];
+    next_seq = 0;
   }
 
-let add_light p (l : Types.light_slot) =
-  {
-    p with
-    lights = Light_set.add (l.deficit, p.next_seq, l.light_node) p.lights;
-    next_seq = p.next_seq + 1;
-  }
+let n_shed p = Array.length p.s_seq
+let n_lights p = Array.length p.l_seq
+let size p = n_shed p + n_lights p
+let is_empty p = n_shed p = 0 && n_lights p = 0
+
+(* Sort a fresh index permutation of [0, n) with [cmp], used to order
+   entries by (key, seq) — a total order, so Array.sort suffices. *)
+let sorted_perm n cmp =
+  let perm = Array.init n (fun i -> i) in
+  Array.sort cmp perm;
+  perm
+
+(* Build the shed side from [n] entries in insertion order, entry [i]
+   getting seq [seq0 + i]. *)
+let build_sheds n ~load ~entry ~seq0 =
+  if n = 0 then (Float.Array.create 0, [||], [||])
+  else begin
+    let perm =
+      sorted_perm n (fun i j ->
+          match Float.compare (load j) (load i) with
+          | 0 -> Int.compare i j
+          | c -> c)
+    in
+    let s_load = Float.Array.create n in
+    let s_seq = Array.make n 0 in
+    let s_rec = Array.make n (entry perm.(0)) in
+    for k = 0 to n - 1 do
+      let i = perm.(k) in
+      Float.Array.set s_load k (load i);
+      s_seq.(k) <- seq0 + i;
+      s_rec.(k) <- entry i
+    done;
+    (s_load, s_seq, s_rec)
+  end
+
+let build_lights n ~deficit ~node ~seq0 =
+  if n = 0 then (Float.Array.create 0, [||], [||])
+  else begin
+    let perm =
+      sorted_perm n (fun i j ->
+          match Float.compare (deficit i) (deficit j) with
+          | 0 -> Int.compare i j
+          | c -> c)
+    in
+    let l_def = Float.Array.create n in
+    let l_seq = Array.make n 0 in
+    let l_node = Array.make n 0 in
+    for k = 0 to n - 1 do
+      let i = perm.(k) in
+      Float.Array.set l_def k (deficit i);
+      l_seq.(k) <- seq0 + i;
+      l_node.(k) <- node i
+    done;
+    (l_def, l_seq, l_node)
+  end
+
+let of_slices sheds ns lights nl =
+  let s_load, s_seq, s_rec =
+    build_sheds ns
+      ~load:(fun i -> sheds.(i).Types.vs_load)
+      ~entry:(fun i -> sheds.(i))
+      ~seq0:0
+  in
+  let l_def, l_seq, l_node =
+    build_lights nl
+      ~deficit:(fun i -> lights.(i).Types.deficit)
+      ~node:(fun i -> lights.(i).Types.light_node)
+      ~seq0:ns
+  in
+  { s_load; s_seq; s_rec; l_def; l_seq; l_node; next_seq = ns + nl }
 
 let of_entries sheds lights =
-  let p = List.fold_left add_shed empty sheds in
-  List.fold_left add_light p lights
+  let sheds = Array.of_list sheds and lights = Array.of_list lights in
+  of_slices sheds (Array.length sheds) lights (Array.length lights)
 
+(* Re-sequence [b]'s entries above [a]'s (sheds first, then lights, each
+   in sorted order — matching one add per entry in that order), then
+   merge the sorted runs.  On equal keys [a]'s entry precedes (its seq
+   is smaller). *)
 let merge a b =
-  (* Re-sequence [b]'s entries above [a]'s to keep seqs unique. *)
-  let p = ref a in
-  Shed_set.iter (fun (_, _, s) -> p := add_shed !p s) b.shed;
-  Light_set.iter
-    (fun (deficit, _, light_node) -> p := add_light !p { deficit; light_node })
-    b.lights;
-  !p
+  let bs = n_shed b and bl = n_lights b in
+  if bs = 0 && bl = 0 then a
+  else begin
+    let as_ = n_shed a and al = n_lights a in
+    let ns = as_ + bs and nl = al + bl in
+    let s_load = Float.Array.create ns in
+    let s_seq = Array.make ns 0 in
+    let s_rec =
+      if ns = 0 then [||]
+      else Array.make ns (if as_ > 0 then a.s_rec.(0) else b.s_rec.(0))
+    in
+    let i = ref 0 and j = ref 0 in
+    for k = 0 to ns - 1 do
+      let take_a =
+        if !i >= as_ then false
+        else if !j >= bs then true
+        else Float.compare (Float.Array.get a.s_load !i)
+               (Float.Array.get b.s_load !j)
+             >= 0
+      in
+      if take_a then begin
+        Float.Array.set s_load k (Float.Array.get a.s_load !i);
+        s_seq.(k) <- a.s_seq.(!i);
+        s_rec.(k) <- a.s_rec.(!i);
+        incr i
+      end
+      else begin
+        Float.Array.set s_load k (Float.Array.get b.s_load !j);
+        s_seq.(k) <- a.next_seq + !j;
+        s_rec.(k) <- b.s_rec.(!j);
+        incr j
+      end
+    done;
+    let l_def = Float.Array.create nl in
+    let l_seq = Array.make nl 0 in
+    let l_node = Array.make nl 0 in
+    let i = ref 0 and j = ref 0 in
+    for k = 0 to nl - 1 do
+      let take_a =
+        if !i >= al then false
+        else if !j >= bl then true
+        else Float.compare (Float.Array.get a.l_def !i)
+               (Float.Array.get b.l_def !j)
+             <= 0
+      in
+      if take_a then begin
+        Float.Array.set l_def k (Float.Array.get a.l_def !i);
+        l_seq.(k) <- a.l_seq.(!i);
+        l_node.(k) <- a.l_node.(!i);
+        incr i
+      end
+      else begin
+        Float.Array.set l_def k (Float.Array.get b.l_def !j);
+        l_seq.(k) <- a.next_seq + bs + !j;
+        l_node.(k) <- b.l_node.(!j);
+        incr j
+      end
+    done;
+    { s_load; s_seq; s_rec; l_def; l_seq; l_node;
+      next_seq = a.next_seq + bs + bl }
+  end
 
-let n_shed p = Shed_set.cardinal p.shed
-let n_lights p = Light_set.cardinal p.lights
-let size p = n_shed p + n_lights p
-
-let shed_entries p = List.map (fun (_, _, s) -> s) (Shed_set.elements p.shed)
+let shed_entries p = Array.to_list p.s_rec
 
 let light_entries p =
-  List.map
-    (fun (deficit, _, light_node) -> Types.{ deficit; light_node })
-    (Light_set.elements p.lights)
+  List.init (n_lights p) (fun i ->
+      Types.
+        { deficit = Float.Array.get p.l_def i; light_node = p.l_node.(i) })
 
 let pair ?(depth = 0) ~l_min p =
-  let assignments = ref [] in
-  let unpaired_shed = ref [] in
-  let lights = ref p.lights in
-  let next_seq = ref p.next_seq in
-  (* Heaviest-first over the shed VSs. *)
-  Shed_set.iter
-    (fun (load, _, s) ->
-      (* Smallest light deficit that still fits this VS, skipping slots
-         of the shedding node itself (moving a VS to its own host would
-         be a no-op transfer). *)
-      let found = ref None in
-      let probe_d = ref load and probe_sq = ref min_int in
-      let continue = ref true in
-      while !continue do
-        match
-          Light_set.find_first_opt
-            (fun (d, sq, _) ->
-              match Float.compare d !probe_d with
-              | 0 -> sq >= !probe_sq
-              | c -> c > 0)
-            !lights
-        with
-        | Some (d, sq, n) ->
-          if n = s.Types.heavy_node then begin
-            probe_d := d;
-            probe_sq := sq + 1
-          end
-          else begin
-            found := Some (d, sq, n);
-            continue := false
-          end
-        | None -> continue := false
+  let sn = n_shed p in
+  if sn = 0 then ([], p)
+  else begin
+    (* Mutable working copy of the light side; each assignment removes
+       one slot and re-inserts at most one residual, so capacity never
+       exceeds the initial count. *)
+    let ln = ref (n_lights p) in
+    let w_def = Float.Array.create !ln in
+    Float.Array.blit p.l_def 0 w_def 0 !ln;
+    let w_seq = Array.sub p.l_seq 0 !ln in
+    let w_node = Array.sub p.l_node 0 !ln in
+    let next_seq = ref p.next_seq in
+    (* First working slot with deficit >= [x] ([upper]: > [x]). *)
+    let lower_bound x =
+      let lo = ref 0 and hi = ref !ln in
+      while !lo < !hi do
+        let mid = (!lo + !hi) lsr 1 in
+        if Float.compare (Float.Array.get w_def mid) x >= 0 then hi := mid
+        else lo := mid + 1
       done;
-      match !found with
-      | Some ((deficit, _, light_node) as slot) ->
-        lights := Light_set.remove slot !lights;
+      !lo
+    in
+    let upper_bound x =
+      let lo = ref 0 and hi = ref !ln in
+      while !lo < !hi do
+        let mid = (!lo + !hi) lsr 1 in
+        if Float.compare (Float.Array.get w_def mid) x > 0 then hi := mid
+        else lo := mid + 1
+      done;
+      !lo
+    in
+    let remove_at i =
+      let tail = !ln - i - 1 in
+      Float.Array.blit w_def (i + 1) w_def i tail;
+      Array.blit w_seq (i + 1) w_seq i tail;
+      Array.blit w_node (i + 1) w_node i tail;
+      decr ln
+    in
+    let insert_at i d sq node =
+      let tail = !ln - i in
+      Float.Array.blit w_def i w_def (i + 1) tail;
+      Array.blit w_seq i w_seq (i + 1) tail;
+      Array.blit w_node i w_node (i + 1) tail;
+      Float.Array.set w_def i d;
+      w_seq.(i) <- sq;
+      w_node.(i) <- node;
+      incr ln
+    in
+    let assignments = ref [] in
+    let unpaired = Array.make sn p.s_rec.(0) in
+    let n_unpaired = ref 0 in
+    (* Heaviest-first over the shed VSs. *)
+    for si = 0 to sn - 1 do
+      let load = Float.Array.get p.s_load si in
+      let s = p.s_rec.(si) in
+      (* Smallest light deficit that still fits this VS, skipping slots
+         of the shedding node itself (the Set implementation re-probes
+         past each skipped slot, which is exactly a forward scan in
+         (deficit, seq) order). *)
+      let i = ref (lower_bound load) in
+      while !i < !ln && w_node.(!i) = s.Types.heavy_node do
+        incr i
+      done;
+      if !i < !ln then begin
+        let deficit = Float.Array.get w_def !i in
+        let light_node = w_node.(!i) in
         assignments :=
           Types.
             {
@@ -108,16 +259,42 @@ let pair ?(depth = 0) ~l_min p =
               a_depth = depth;
             }
           :: !assignments;
+        remove_at !i;
         let residual = deficit -. load in
         if residual >= l_min then begin
-          lights := Light_set.add (residual, !next_seq, light_node) !lights;
+          (* The fresh seq is larger than every working seq, so the
+             insertion point is the strict upper bound of [residual]. *)
+          insert_at (upper_bound residual) residual !next_seq light_node;
           incr next_seq
         end
-      | None -> unpaired_shed := s :: !unpaired_shed)
-    p.shed;
-  let leftover =
-    List.fold_left add_shed
-      { shed = Shed_set.empty; lights = !lights; next_seq = !next_seq }
-      !unpaired_shed
-  in
-  (List.rev !assignments, leftover)
+      end
+      else begin
+        unpaired.(!n_unpaired) <- s;
+        incr n_unpaired
+      end
+    done;
+    (* Leftover pool: surviving lights plus the unpaired sheds re-added
+       in reverse encounter order (the Set implementation folds over the
+       prepend-accumulated list), which reverses equal-load ties. *)
+    let u = !n_unpaired in
+    let s_load, s_seq, s_rec =
+      build_sheds u
+        ~load:(fun i -> unpaired.(u - 1 - i).Types.vs_load)
+        ~entry:(fun i -> unpaired.(u - 1 - i))
+        ~seq0:!next_seq
+    in
+    let l_def = Float.Array.create !ln in
+    Float.Array.blit w_def 0 l_def 0 !ln;
+    let leftover =
+      {
+        s_load;
+        s_seq;
+        s_rec;
+        l_def;
+        l_seq = Array.sub w_seq 0 !ln;
+        l_node = Array.sub w_node 0 !ln;
+        next_seq = !next_seq + u;
+      }
+    in
+    (List.rev !assignments, leftover)
+  end

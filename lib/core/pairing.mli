@@ -19,6 +19,13 @@ val is_empty : pool -> bool
 
 val of_entries : Types.shed_vs list -> Types.light_slot list -> pool
 
+val of_slices :
+  Types.shed_vs array -> int -> Types.light_slot array -> int -> pool
+(** [of_slices sheds ns lights nl] equals
+    [of_entries (prefix ns of sheds) (prefix nl of lights)] without
+    intermediate lists — the constructor used by the VSA hot path on
+    reusable scratch buffers. *)
+
 val merge : pool -> pool -> pool
 
 val size : pool -> int

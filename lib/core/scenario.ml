@@ -33,7 +33,7 @@ type t = {
   config : config;
 }
 
-let build ~seed config =
+let build ?base ~seed config =
   if config.n_nodes < 1 then invalid_arg "Scenario.build: n_nodes < 1";
   let master = Prng.create ~seed in
   let topo_rng = Prng.split master in
@@ -41,7 +41,20 @@ let build ~seed config =
   let load_rng = Prng.split master in
   let landmark_rng = Prng.split master in
   let lb_rng = Prng.split master in
-  let topo = Transit_stub.generate topo_rng config.topology in
+  (* The topology, distance oracle and landmark space depend only on
+     [seed] and [config] (each on its own split stream), so a caller
+     re-building the same scenario — e.g. the proximity experiments
+     running aware and ignorant modes over one graph instance — can
+     donate them from a previous build.  The oracle's memoised
+     Dijkstra vectors then carry across runs: one probe per distinct
+     source per graph, not per mode. *)
+  let topo, oracle, base_space =
+    match base with
+    | Some b -> (b.topo, b.oracle, Some b.space)
+    | None ->
+      let topo = Transit_stub.generate topo_rng config.topology in
+      (topo, Graph.Oracle.create topo.Transit_stub.graph, None)
+  in
   let stubs = topo.Transit_stub.stub_vertices in
   if Array.length stubs < config.n_nodes then
     invalid_arg "Scenario.build: topology has fewer stub vertices than n_nodes";
@@ -60,23 +73,21 @@ let build ~seed config =
   Workload.assign_loads load_rng config.workload dht;
   (* Landmark vectors are measured on the latency graph — what real
      RTT probes would see; transfer costs stay on the hop graph. *)
-  let landmarks =
-    if config.landmark_spread then
-      Landmark.select_spread landmark_rng topo.Transit_stub.latency_graph
-        ~m:config.landmark_m
-    else
-      Landmark.select_random landmark_rng topo.Transit_stub.latency_graph
-        ~m:config.landmark_m
+  let space =
+    match base_space with
+    | Some space -> space
+    | None ->
+      let landmarks =
+        if config.landmark_spread then
+          Landmark.select_spread landmark_rng topo.Transit_stub.latency_graph
+            ~m:config.landmark_m
+        else
+          Landmark.select_random landmark_rng topo.Transit_stub.latency_graph
+            ~m:config.landmark_m
+      in
+      Landmark.make_space topo.Transit_stub.latency_graph ~landmarks
   in
-  let space = Landmark.make_space topo.Transit_stub.latency_graph ~landmarks in
-  {
-    rng = lb_rng;
-    dht;
-    topo;
-    oracle = Graph.Oracle.create topo.Transit_stub.graph;
-    space;
-    config;
-  }
+  { rng = lb_rng; dht; topo; oracle; space; config }
 
 let join_nodes t n =
   let stubs = t.topo.Transit_stub.stub_vertices in

@@ -32,11 +32,20 @@ type t = {
   config : config;
 }
 
-val build : seed:int -> config -> t
+val build : ?base:t -> seed:int -> config -> t
 (** Deterministic in [seed].  Overlay nodes attach to distinct stub
     vertices (end hosts); capacities follow the Gnutella profile;
     loads are drawn per the workload config.  Requires the topology to
-    provide at least [n_nodes] stub vertices. *)
+    provide at least [n_nodes] stub vertices.
+
+    [base] donates the underlay topology, distance oracle and landmark
+    space of a previous build — valid only when that build used the
+    same [seed] and [config], where those parts are identical anyway
+    (each derives from its own split of the master stream).  Skipping
+    their reconstruction does not perturb the membership, load or
+    load-balancing streams, and the shared oracle keeps its memoised
+    Dijkstra vectors across runs: one probe per distinct source per
+    graph instance, not per re-build. *)
 
 val join_nodes : t -> int -> unit
 (** Churn: [join_nodes t n] adds [n] fresh nodes on random stub

@@ -61,6 +61,12 @@ let node_records ~epsilon ~(lbi : Types.lbi) (n : Dht.node) :
         Types.Shed { vs_load; vs_id; heavy_node = n.Dht.node_id })
       shed
 
+(* Retained list-based reference: builds a leaf pool from the
+   reverse-arrival record list exactly as the original implementation
+   did (fold splitting sheds/lights, reversing each category back to
+   arrival order, then of_entries).  The production path below feeds
+   {!Pairing.of_slices} from scratch buffers; test_prop pins their
+   agreement. *)
 let pool_of_records records =
   let sheds, lights =
     List.fold_left
@@ -100,81 +106,162 @@ let run ?(threshold = default_threshold) ?(epsilon = 0.0) ?faults
   let records_lost = ref 0 in
   let stale_dropped = ref 0 in
   let assignments_lost = ref 0 in
-  let nodes = Dht.alive_nodes dht in
   let n_heavy = ref 0 and n_light = ref 0 and n_neutral = ref 0 in
   let publish_hops = ref 0 in
-  let all_records =
-    List.concat_map
-      (fun n ->
-        let records = node_records ~epsilon ~lbi n in
-        (match
-           Classify.classify ~lbi ~epsilon ~load:(Dht.node_load n)
-             ~capacity:n.Dht.capacity
-         with
-        | Types.Heavy -> incr n_heavy
-        | Types.Light -> incr n_light
-        | Types.Neutral -> incr n_neutral);
-        List.map (fun r -> (n, r)) records)
-      nodes
-  in
-  let shed_offered, load_offered =
-    List.fold_left
-      (fun (c, l) (_, r) ->
-        match r with
-        | Types.Shed s -> (c + 1, l +. s.Types.vs_load)
-        | Types.Light _ -> (c, l))
-      (0, 0.0) all_records
-  in
-  (* Route every record to a KT leaf, according to the mode. *)
+  let shed_offered = ref 0 and load_offered = ref 0.0 in
   let assignment = Ktree.leaf_assignment tree in
-  let per_leaf : (Id.t, Types.vsa_record list) Hashtbl.t = Hashtbl.create 1024 in
-  let report_to_leaf leaf r =
-    let key = leaf.Ktree.key in
-    let existing =
-      match Hashtbl.find_opt per_leaf key with Some l -> l | None -> []
-    in
-    Hashtbl.replace per_leaf key (r :: existing)
+  (* Arrival-ordered (leaf slot, record) reports, grouped per leaf by a
+     single stable counting sort below — replaces the per-leaf
+     Hashtbl of reverse-arrival lists. *)
+  let rep_cap = ref 0 in
+  let n_reports = ref 0 in
+  let rep_slot = ref [||] in
+  let rep_rec = ref ([||] : Types.vsa_record array) in
+  let push_report slot r =
+    if !n_reports = !rep_cap then begin
+      let cap = if !rep_cap = 0 then 1024 else 2 * !rep_cap in
+      let slots = Array.make cap 0 and recs = Array.make cap r in
+      Array.blit !rep_slot 0 slots 0 !n_reports;
+      Array.blit !rep_rec 0 recs 0 !n_reports;
+      rep_cap := cap;
+      rep_slot := slots;
+      rep_rec := recs
+    end;
+    !rep_slot.(!n_reports) <- slot;
+    !rep_rec.(!n_reports) <- r;
+    incr n_reports
   in
-  (match mode with
-  | Ignorant ->
-    List.iter
-      (fun (n, r) ->
-        let v = Dht.report_vs dht rng n in
-        match send () with
-        | None -> incr records_lost
-        | Some _ -> (
-          match Hashtbl.find_opt assignment v.Dht.vs_id with
-          | Some leaf -> report_to_leaf leaf r
-          | None -> ()))
-      all_records
-  | Aware { space; order; curve; binning } ->
-    let failed =
+  let slot_of_vs vs_id =
+    match Hashtbl.find_opt assignment vs_id with
+    | Some leaf -> Ktree.leaf_slot leaf
+    | None -> -1
+  in
+  (* Classify every node, collect its records and route each to a KT
+     leaf according to the mode — one fused pass in alive-node order
+     (classification draws no randomness, so collection and routing
+     interleave without perturbing the per-record PRNG/fault stream). *)
+  let failed =
+    match mode with
+    | Ignorant -> []
+    | Aware { space; _ } -> (
       match faults with
       | None -> []
-      | Some f -> Faults.failed_landmarks f ~m:(Landmark.m space)
-    in
-    (* Publish records into the DHT keyed by Hilbert number... *)
-    List.iter
-      (fun (n, r) ->
-        let key =
-          Landmark.dht_key ~curve ~binning ~failed space ~order n.Dht.underlay
-        in
-        let from = (Dht.report_vs dht rng n).Dht.vs_id in
-        match send () with
-        | None -> incr records_lost
-        | Some _ -> publish_hops := !publish_hops + Dht.put dht ~from ~key r)
-      all_records;
-    (* ... then every VS reports what landed in its region to its
-       designated leaf. *)
+      | Some f -> Faults.failed_landmarks f ~m:(Landmark.m space))
+  in
+  let route_record (n : Dht.node) r =
+    match mode with
+    | Ignorant -> (
+      let v = Dht.report_vs dht rng n in
+      match send () with
+      | None -> incr records_lost
+      | Some _ ->
+        let slot = slot_of_vs v.Dht.vs_id in
+        if slot >= 0 then push_report slot r)
+    | Aware { space; order; curve; binning } -> (
+      let key =
+        Landmark.dht_key ~curve ~binning ~failed space ~order n.Dht.underlay
+      in
+      let from = (Dht.report_vs dht rng n).Dht.vs_id in
+      match send () with
+      | None -> incr records_lost
+      | Some _ -> publish_hops := !publish_hops + Dht.put dht ~from ~key r)
+  in
+  Dht.fold_nodes dht ~init:() ~f:(fun () n ->
+      let records = node_records ~epsilon ~lbi n in
+      (match
+         Classify.classify ~lbi ~epsilon ~load:(Dht.node_load n)
+           ~capacity:n.Dht.capacity
+       with
+      | Types.Heavy -> incr n_heavy
+      | Types.Light -> incr n_light
+      | Types.Neutral -> incr n_neutral);
+      List.iter
+        (fun r ->
+          (match r with
+          | Types.Shed s ->
+            incr shed_offered;
+            load_offered := !load_offered +. s.Types.vs_load
+          | Types.Light _ -> ());
+          route_record n r)
+        records);
+  (* Aware mode published into the DHT: every VS now reports what
+     landed in its region to its designated leaf. *)
+  (match mode with
+  | Ignorant -> ()
+  | Aware _ ->
     Dht.fold_vs dht ~init:() ~f:(fun () v ->
-        match Hashtbl.find_opt assignment v.Dht.vs_id with
-        | None -> ()
-        | Some leaf ->
+        let slot = slot_of_vs v.Dht.vs_id in
+        if slot >= 0 then begin
           let region = Dht.region_of_vs dht v in
           List.iter
-            (fun (_, r) -> report_to_leaf leaf r)
-            (Dht.items_in_region dht region));
+            (fun (_, r) -> push_report slot r)
+            (Dht.items_in_region dht region)
+        end);
     Dht.clear_items dht);
+  (* Group the reports per leaf slot: counts, prefix sums, then a stable
+     scatter, so each slot's slice keeps arrival order. *)
+  let n_slots = Ktree.n_leaf_slots tree in
+  let starts = Array.make (n_slots + 1) 0 in
+  for i = 0 to !n_reports - 1 do
+    let s = !rep_slot.(i) in
+    starts.(s + 1) <- starts.(s + 1) + 1
+  done;
+  for s = 1 to n_slots do
+    starts.(s) <- starts.(s) + starts.(s - 1)
+  done;
+  let grouped =
+    if !n_reports = 0 then [||]
+    else begin
+      let g = Array.make !n_reports !rep_rec.(0) in
+      let cursor = Array.copy starts in
+      for i = 0 to !n_reports - 1 do
+        let s = !rep_slot.(i) in
+        g.(cursor.(s)) <- !rep_rec.(i);
+        cursor.(s) <- cursor.(s) + 1
+      done;
+      g
+    end
+  in
+  (* Scratch buffers for the per-leaf freshness partition, reused by
+     every leaf of the sweep (grown on demand, filled with the pushed
+     element so no dummy values are needed). *)
+  let shed_scratch = ref ([||] : Types.shed_vs array) in
+  let shed_n = ref 0 in
+  let light_scratch = ref ([||] : Types.light_slot array) in
+  let light_n = ref 0 in
+  let push_shed s =
+    if !shed_n >= Array.length !shed_scratch then begin
+      let cap = Int.max 64 (2 * Array.length !shed_scratch) in
+      let a = Array.make cap s in
+      Array.blit !shed_scratch 0 a 0 !shed_n;
+      shed_scratch := a
+    end;
+    !shed_scratch.(!shed_n) <- s;
+    incr shed_n
+  in
+  let push_light l =
+    if !light_n >= Array.length !light_scratch then begin
+      let cap = Int.max 64 (2 * Array.length !light_scratch) in
+      let a = Array.make cap l in
+      Array.blit !light_scratch 0 a 0 !light_n;
+      light_scratch := a
+    end;
+    !light_scratch.(!light_n) <- l;
+    incr light_n
+  in
+  let fresh_pool_slice lo hi =
+    shed_n := 0;
+    light_n := 0;
+    for i = lo to hi - 1 do
+      let r = grouped.(i) in
+      if record_fresh dht r then
+        match r with
+        | Types.Shed s -> push_shed s
+        | Types.Light l -> push_light l
+      else incr stale_dropped
+    done;
+    Pairing.of_slices !shed_scratch !shed_n !light_scratch !light_n
+  in
   (* Bottom-up rendezvous sweep. *)
   let assignments = ref [] in
   let direct_messages = ref 0 in
@@ -193,21 +280,21 @@ let run ?(threshold = default_threshold) ?(epsilon = 0.0) ?faults
     List.iter notify made;
     leftover
   in
-  let fresh_pool records =
-    let live, stale = List.partition (record_fresh dht) records in
-    stale_dropped := !stale_dropped + List.length stale;
-    pool_of_records live
-  in
   let root_pool =
     Ktree.sweep_up tree
       ~at_leaf:(fun leaf ->
-        let pool =
-          match Hashtbl.find_opt per_leaf leaf.Ktree.key with
-          | None -> Pairing.empty
-          | Some records -> fresh_pool records
-        in
-        if Pairing.size pool >= threshold then pair_here leaf.Ktree.depth pool
-        else pool)
+        let slot = Ktree.leaf_slot leaf in
+        if slot < 0 then Pairing.empty
+        else begin
+          let lo = starts.(slot) and hi = starts.(slot + 1) in
+          if lo = hi then Pairing.empty
+          else begin
+            let pool = fresh_pool_slice lo hi in
+            if Pairing.size pool >= threshold then
+              pair_here leaf.Ktree.depth pool
+            else pool
+          end
+        end)
       ~combine:(fun node children ->
         let pool = List.fold_left Pairing.merge Pairing.empty children in
         if node.Ktree.depth = 0 || Pairing.size pool >= threshold then
@@ -220,8 +307,8 @@ let run ?(threshold = default_threshold) ?(epsilon = 0.0) ?faults
     n_heavy = !n_heavy;
     n_light = !n_light;
     n_neutral = !n_neutral;
-    shed_offered;
-    load_offered;
+    shed_offered = !shed_offered;
+    load_offered = !load_offered;
     publish_hops = !publish_hops;
     direct_messages = !direct_messages;
     rounds = Ktree.rounds_last_sweep tree;

@@ -57,6 +57,13 @@ type result = {
 val default_threshold : int
 (** 30, the rendezvous threshold the paper suggests. *)
 
+val pool_of_records : Types.vsa_record list -> Pairing.pool
+(** Builds a leaf pool from records in arrival order, exactly as the
+    original list-based rendezvous did.  Retained as the reference
+    implementation the array-backed hot path is property-tested
+    against (test_prop); {!run} itself feeds {!Pairing.of_slices} from
+    reusable scratch buffers instead. *)
+
 val run :
   ?threshold:int ->
   ?epsilon:float ->

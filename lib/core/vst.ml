@@ -43,7 +43,7 @@ type result = {
   restructure_messages : int;
 }
 
-let apply ?tree ?obs ?faults ~oracle dht assignments =
+let apply ?tree ?obs ?faults ?oracle dht assignments =
   let trace_point name attrs =
     match obs with
     | None -> ()
@@ -139,8 +139,11 @@ let apply ?tree ?obs ?faults ~oracle dht assignments =
       | Some v when v.Dht.owner = a.a_from && Dht.is_alive dht a.a_to -> (
         let src = Dht.node dht a.a_from and dst = Dht.node dht a.a_to in
         let hops =
-          Graph.Oracle.distance oracle ~src:src.Dht.underlay
-            ~dst:dst.Dht.underlay
+          match oracle with
+          | Some o ->
+            Graph.Oracle.distance o ~src:src.Dht.underlay
+              ~dst:dst.Dht.underlay
+          | None -> 0
         in
         match txn with
         | None ->

@@ -94,12 +94,18 @@ val apply :
   ?tree:Ktree.t ->
   ?obs:P2plb_obs.Obs.t ->
   ?faults:Faults.t ->
-  oracle:Graph.Oracle.t ->
+  ?oracle:Graph.Oracle.t ->
   'a Dht.t ->
   Types.assignment list ->
   result
 (** [tree] enables KT-migration message accounting (and is refreshed
     afterwards under the lazy-migration protocol).
+
+    [oracle] prices each committed transfer in underlay hops for the
+    distance histogram.  Omitting it skips the shortest-path queries
+    and books every transfer at distance 0 — the scale tier runs this
+    way, where per-source Dijkstra vectors over a 100k-vertex underlay
+    would dominate the run.
 
     [faults] supplies the transfer-path fault draws; the transactional
     protocol only engages when {!Faults.transfer_protocol} holds.

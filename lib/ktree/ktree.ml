@@ -8,6 +8,10 @@ type kt_node = {
   depth : int;
   mutable host : Id.t;
   mutable children : kt_node option array;
+  (* Slot ordinal of this node in the current leaf assignment (see
+     {!leaf_assignment}); -1 when the node is not an assigned leaf.
+     Scratch state rebuilt with the assignment cache. *)
+  mutable tag : int;
 }
 
 type t = {
@@ -18,6 +22,11 @@ type t = {
   mutable repaired : int;
   mutable repair_msg : int;
   mutable obs : P2plb_obs.Obs.t option;
+  (* Lazily built host->deepest-leaf table, shared by every
+     leaf_assignment caller in a round; invalidated at each structural
+     mutation (plant / prune / re-host). *)
+  mutable assignment : (Id.t, kt_node) Hashtbl.t option;
+  mutable n_slots : int;
 }
 
 let set_obs t obs = t.obs <- Some obs
@@ -30,6 +39,12 @@ let obs_event t name attrs =
     P2plb_obs.Registry.add
       (P2plb_obs.Registry.counter (P2plb_obs.Obs.metrics o) name)
       1
+
+let invalidate_assignment t =
+  if t.assignment <> None then begin
+    t.assignment <- None;
+    t.n_slots <- 0
+  end
 
 let k t = t.k
 let root t = t.root
@@ -62,7 +77,14 @@ let plant ~route_messages t dht ~from region depth =
     end
     else Dht.owner_of_key dht key
   in
-  { region; key; depth; host = host.Dht.vs_id; children = Array.make t.k None }
+  {
+    region;
+    key;
+    depth;
+    host = host.Dht.vs_id;
+    children = Array.make t.k None;
+    tag = -1;
+  }
 
 (* Grow the subtree under [n] until every branch bottoms out in a
    covered (leaf) node.  One message per created child. *)
@@ -77,6 +99,7 @@ let rec grow ~route_messages t dht n =
           in
           t.msg <- t.msg + 1;
           n.children.(i) <- Some child;
+          invalidate_assignment t;
           grow ~route_messages t dht child
         end
         else
@@ -100,6 +123,7 @@ let build ?(route_messages = false) ~k dht =
       depth = 0;
       host = root_host.Dht.vs_id;
       children = Array.make k None;
+      tag = -1;
     }
   in
   let t =
@@ -111,6 +135,8 @@ let build ?(route_messages = false) ~k dht =
       repaired = 0;
       repair_msg = 0;
       obs = None;
+      assignment = None;
+      n_slots = 0;
     }
   in
   grow ~route_messages t dht root;
@@ -143,7 +169,34 @@ let leaves t =
     !acc
 
 let refresh ?(route_messages = false) t dht =
+  (* One level of {!grow}: plant the missing children of [n] but do
+     not descend into existing subtrees — [visit] below recurses and
+     grows each level as it reaches it.  Full [grow] here would make
+     the refresh O(nodes * depth): every ancestor re-walks the whole
+     subtree.  Message accounting is unchanged (one message per
+     created child; descent heartbeats are visit's). *)
+  let grow_level n =
+    let parts = Region.split n.region t.k in
+    Array.iteri
+      (fun i part ->
+        if (not (Region.is_empty part)) && n.children.(i) = None then begin
+          let child =
+            plant ~route_messages t dht ~from:n.host part (n.depth + 1)
+          in
+          t.msg <- t.msg + 1;
+          n.children.(i) <- Some child;
+          invalidate_assignment t
+        end)
+      parts
+  in
+  (* Coverage of [n]'s region by an explicit (possibly stale) host. *)
+  let covered_by host n =
+    match Dht.vs_of_id dht host with
+    | None -> false
+    | Some v -> Region.covers ~outer:(Dht.region_of_vs dht v) ~inner:n.region
+  in
   let rec visit n =
+    let old_host = n.host in
     (* Re-resolve the hosting VS (the old one may be gone or may no
        longer own the centre key after churn / VS transfer). *)
     let new_host =
@@ -156,23 +209,58 @@ let refresh ?(route_messages = false) t dht =
     in
     if new_host.Dht.vs_id <> n.host then begin
       n.host <- new_host.Dht.vs_id;
+      invalidate_assignment t;
       (* Re-planting notifies parent and children: at most K+1 msgs. *)
       t.msg <- t.msg + t.k + 1;
       obs_event t "kt/rehost" [ ("depth", P2plb_obs.Trace.Int n.depth) ]
     end;
     if covered_by_host dht n then begin
+      (* A non-root node whose re-host just flipped it to covered was
+         still uncovered when its parent's refresh pass grew the tree,
+         so that pass planted its missing children (lookups issued
+         from the stale host) and the prune below then removed them
+         again.  Replay that transient plant so message accounting —
+         and with it the digest-pinned traces — is identical to the
+         historical whole-subtree regrow. *)
+      if n.depth > 0 && old_host <> n.host && not (covered_by old_host n)
+      then begin
+        (* Exactly {!grow}'s body with [n] forced uncovered: plant the
+           missing slots (from the stale host) and regrow the existing
+           children too — their hosts are still the pre-rehost ones the
+           historical pass saw, since visit is top-down and has not
+           descended here yet.  The whole subtree is discarded by the
+           prune below; only the message count survives. *)
+        let parts = Region.split n.region t.k in
+        Array.iteri
+          (fun i part ->
+            if (not (Region.is_empty part)) && n.children.(i) = None then begin
+              let child =
+                plant ~route_messages t dht ~from:old_host part (n.depth + 1)
+              in
+              t.msg <- t.msg + 1;
+              n.children.(i) <- Some child;
+              invalidate_assignment t;
+              grow ~route_messages t dht child
+            end
+            else
+              match n.children.(i) with
+              | Some child -> grow ~route_messages t dht child
+              | None -> ())
+          parts
+      end;
       (* Became a leaf: prune redundant children. *)
       Array.iteri
         (fun i c ->
           match c with
           | Some _ ->
             t.msg <- t.msg + 1;
-            n.children.(i) <- None
+            n.children.(i) <- None;
+            invalidate_assignment t
           | None -> ())
         n.children
     end
     else begin
-      grow ~route_messages t dht n;
+      grow_level n;
       Array.iter
         (function
           | Some c ->
@@ -216,6 +304,7 @@ let repair ?(route_messages = false) t dht =
       else Dht.owner_of_key dht n.key
     in
     n.host <- host.Dht.vs_id;
+    invalidate_assignment t;
     (* Re-planting notifies parent and children: at most K+1 msgs. *)
     t.msg <- t.msg + t.k + 1;
     t.repair_msg <- t.repair_msg + t.k + 1;
@@ -234,7 +323,8 @@ let repair ?(route_messages = false) t dht =
           | Some _ ->
             t.msg <- t.msg + 1;
             t.repair_msg <- t.repair_msg + 1;
-            n.children.(i) <- None
+            n.children.(i) <- None;
+            invalidate_assignment t
           | None -> ())
         n.children
     else begin
@@ -252,6 +342,7 @@ let repair ?(route_messages = false) t dht =
             t.msg <- t.msg + 1;
             t.repair_msg <- t.repair_msg + (t.msg - m0);
             n.children.(i) <- Some child;
+            invalidate_assignment t;
             visit ~from:n.host child
           end
           else
@@ -316,15 +407,40 @@ let fold_nodes t ~init ~f =
   !acc
 
 let leaf_assignment t =
-  let table : (Id.t, kt_node) Hashtbl.t = Hashtbl.create 256 in
-  iter_nodes
-    (fun n ->
-      if is_leaf n then
-        match Hashtbl.find_opt table n.host with
-        | Some existing when existing.depth >= n.depth -> ()
-        | _ -> Hashtbl.replace table n.host n)
-    t.root;
-  table
+  match t.assignment with
+  | Some table -> table
+  | None ->
+    let table : (Id.t, kt_node) Hashtbl.t = Hashtbl.create 256 in
+    iter_nodes
+      (fun n ->
+        if is_leaf n then
+          match Hashtbl.find_opt table n.host with
+          | Some existing when existing.depth >= n.depth -> ()
+          | _ -> Hashtbl.replace table n.host n)
+      t.root;
+    (* Second deterministic pass: number the assigned leaves in tree
+       order (ordinals back the array-indexed rendezvous in Vsa/Lbi)
+       and clear stale tags everywhere else. *)
+    let next = ref 0 in
+    iter_nodes
+      (fun n ->
+        if
+          is_leaf n
+          && match Hashtbl.find_opt table n.host with
+             | Some winner -> winner == n
+             | None -> false
+        then begin
+          n.tag <- !next;
+          incr next
+        end
+        else n.tag <- -1)
+      t.root;
+    t.assignment <- Some table;
+    t.n_slots <- !next;
+    table
+
+let leaf_slot n = n.tag
+let n_leaf_slots t = t.n_slots
 
 let sweep_up t ~at_leaf ~combine =
   let max_depth = ref 0 in

@@ -27,6 +27,9 @@ type kt_node = private {
   depth : int; (** root = 0 *)
   mutable host : Id.t;  (** id of the hosting virtual server *)
   mutable children : kt_node option array;  (** length K *)
+  mutable tag : int;
+      (** leaf-slot ordinal under the current {!leaf_assignment}
+          (see {!leaf_slot}); -1 otherwise *)
 }
 
 type t
@@ -86,7 +89,22 @@ val leaf_assignment : t -> (Id.t, kt_node) Hashtbl.t
 (** For every VS (keyed by VS id), the designated leaf it reports
     through — the deepest-first leaf planted in it.  A VS hosting
     several leaves reports through exactly one to avoid redundant
-    information (§3.2, §4.3). *)
+    information (§3.2, §4.3).  The table is cached on the tree and
+    shared by every caller until the next structural mutation
+    (plant / prune / re-host), so repeated per-round calls cost one
+    traversal. *)
+
+val leaf_slot : kt_node -> int
+(** The node's slot ordinal in the current {!leaf_assignment}: assigned
+    leaves are numbered [0 .. n_leaf_slots - 1] in preorder; any other
+    node answers -1.  Only meaningful after a {!leaf_assignment} call
+    on the owning tree, until the next structural mutation.  Backs the
+    array-indexed (counting-sort) rendezvous in the VSA/LBI hot
+    paths. *)
+
+val n_leaf_slots : t -> int
+(** Number of assigned leaves numbered by the cached assignment; 0 when
+    no assignment is cached. *)
 
 (** {1 Sweeps}
 

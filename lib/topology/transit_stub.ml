@@ -46,6 +46,28 @@ let ts5k_small =
     rtt_scale = 25;
   }
 
+let scaled ~n =
+  if n < 1 then invalid_arg "Transit_stub.scaled: n < 1";
+  (* Many small stub domains on a modest transit core: the shape that
+     keeps generation linear in [n] while leaving ~30% headroom of
+     stub vertices over the requested overlay size (domain sizes are
+     uniform in [1, 2*mean - 1], so with thousands of domains the
+     realised total concentrates tightly around the mean). *)
+  let mean_stub_size = 10 in
+  let transit_nodes = 8 * 4 in
+  let per_transit =
+    (((13 * n / 10) + (mean_stub_size * transit_nodes) - 1)
+    / (mean_stub_size * transit_nodes))
+  in
+  {
+    ts5k_large with
+    transit_domains = 8;
+    transit_nodes_per_domain = 4;
+    stub_domains_per_transit = per_transit;
+    mean_stub_size;
+    top_edge_prob = 0.4;
+  }
+
 type role =
   | Transit of { domain : int }
   | Stub of { domain : int; transit_of : int }

@@ -66,6 +66,13 @@ val ts5k_small : params
     transit node, ~2 nodes per stub domain: overlay nodes scattered
     across the whole Internet. *)
 
+val scaled : n:int -> params
+(** Parameters for the scale tier: enough stub vertices for an
+    [n]-node overlay (~30% headroom, many ~10-node stub domains on an
+    8x4 transit core), with generation cost linear in [n].  Used by
+    the 32k/65k/131k-node experiments, far beyond the paper's ~5000
+    vertices. *)
+
 type role =
   | Transit of { domain : int }
   | Stub of { domain : int; transit_of : int }

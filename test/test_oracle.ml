@@ -76,6 +76,53 @@ let test_probes_match_sources () =
   check Alcotest.int "sources_computed agrees" (Hashtbl.length seen)
     (Graph.Oracle.sources_computed o)
 
+(* Regression bound for the proximity experiments: re-building a
+   scenario with [?base] donates the oracle, so transfer-cost
+   accounting across both modes of one graph instance pays one Dijkstra
+   per distinct source — never one per (mode, pair). *)
+let test_shared_base_probe_bound () =
+  let module TS = P2plb_topology.Transit_stub in
+  let module Scenario = P2plb.Scenario in
+  let module Controller = P2plb.Controller in
+  let topology =
+    {
+      TS.ts5k_large with
+      TS.transit_domains = 3;
+      transit_nodes_per_domain = 2;
+      stub_domains_per_transit = 3;
+      mean_stub_size = 20;
+    }
+  in
+  let config = { Scenario.default with n_nodes = 128; topology } in
+  let s = Scenario.build ~seed:7 config in
+  let o1 =
+    Controller.run
+      ~config:{ Controller.default with Controller.proximity = true }
+      s
+  in
+  let probes_aware = Graph.Oracle.probes s.Scenario.oracle in
+  let s2 = Scenario.build ~base:s ~seed:7 config in
+  check Alcotest.bool "base donates the oracle" true
+    (s2.Scenario.oracle == s.Scenario.oracle);
+  let o2 =
+    Controller.run
+      ~config:{ Controller.default with Controller.proximity = false }
+      s2
+  in
+  let probes_both = Graph.Oracle.probes s2.Scenario.oracle in
+  ignore o1;
+  ignore o2;
+  (* Sources are node underlay vertices, so the probe count across both
+     modes is bounded by the node count (and by the distinct-source
+     cache size, per the memoisation tests above); without the shared
+     base the second run would re-pay every source. *)
+  check Alcotest.bool "probes bounded by n_nodes" true
+    (probes_both <= config.Scenario.n_nodes);
+  check Alcotest.bool "second mode reuses the cache" true
+    (probes_both >= probes_aware);
+  check Alcotest.int "cache holds exactly the probed sources" probes_both
+    (Graph.Oracle.sources_computed s.Scenario.oracle)
+
 let () =
   Alcotest.run "oracle"
     [
@@ -87,5 +134,7 @@ let () =
             test_one_probe_per_source;
           Alcotest.test_case "probes = distinct sources" `Quick
             test_probes_match_sources;
+          Alcotest.test_case "shared base: one Dijkstra per source" `Quick
+            test_shared_base_probe_bound;
         ] );
     ]

@@ -208,6 +208,161 @@ let test_pairing_conserves () =
   Prop.run ~seed:0x5eed05 ~name:"pairing conserves shed load"
     pairing_case prop_pairing_conserves
 
+(* ---- Pairing: array-backed pools agree with the Set-based reference ----- *)
+
+(* The production pools are flat sorted arrays (lib/core/pairing.ml);
+   pairing_reference.ml retains the original Set-based implementation.
+   Every observable must agree exactly — including tie-breaks, so loads
+   and deficits are drawn from a small discrete grid to force equal
+   keys. *)
+
+let discrete_load =
+  Prop.make
+    ~print:(Printf.sprintf "%.17g")
+    (fun rng -> float_of_int (P2plb_prng.Prng.int_in rng ~lo:1 ~hi:6) /. 8.0)
+
+let mk_sheds base loads =
+  List.mapi
+    (fun i l ->
+      { Types.vs_load = l; vs_id = Id.of_int (base + i); heavy_node = base + i })
+    loads
+
+let mk_lights base deficits =
+  List.mapi
+    (fun i d -> { Types.deficit = d; light_node = base + i })
+    deficits
+
+let shed_entries_equal a b =
+  List.equal
+    (fun (x : Types.shed_vs) (y : Types.shed_vs) ->
+      Float.equal x.vs_load y.vs_load
+      && Id.equal x.vs_id y.vs_id
+      && Int.equal x.heavy_node y.heavy_node)
+    a b
+
+let light_entries_equal a b =
+  List.equal
+    (fun (x : Types.light_slot) (y : Types.light_slot) ->
+      Float.equal x.deficit y.deficit && Int.equal x.light_node y.light_node)
+    a b
+
+let assignments_equal a b =
+  List.equal
+    (fun (x : Types.assignment) (y : Types.assignment) ->
+      Id.equal x.a_vs_id y.a_vs_id
+      && Float.equal x.a_load y.a_load
+      && Int.equal x.a_from y.a_from
+      && Int.equal x.a_to y.a_to
+      && Int.equal x.a_depth y.a_depth)
+    a b
+
+let pools_agree prod ref_ =
+  shed_entries_equal (Pairing.shed_entries prod)
+    (Pairing_reference.shed_entries ref_)
+  && light_entries_equal (Pairing.light_entries prod)
+       (Pairing_reference.light_entries ref_)
+
+let ref_pair_case =
+  Prop.pair
+    (Prop.list_of ~max_len:10 discrete_load)
+    (Prop.list_of ~max_len:10 discrete_load)
+
+let prop_pair_agrees_with_reference (shed_loads, deficits) =
+  let sheds = mk_sheds 0 shed_loads and lights = mk_lights 50 deficits in
+  let prod = Pairing.of_entries sheds lights in
+  let ref_ = Pairing_reference.of_entries sheds lights in
+  pools_agree prod ref_
+  &&
+  let pa, pl = Pairing.pair ~depth:3 ~l_min:0.125 prod in
+  let ra, rl = Pairing_reference.pair ~depth:3 ~l_min:0.125 ref_ in
+  assignments_equal pa ra && pools_agree pl rl
+
+let ref_merge_case =
+  Prop.pair
+    (Prop.pair
+       (Prop.list_of ~max_len:6 discrete_load)
+       (Prop.list_of ~max_len:6 discrete_load))
+    (Prop.pair
+       (Prop.list_of ~max_len:6 discrete_load)
+       (Prop.list_of ~max_len:6 discrete_load))
+
+let prop_merge_agrees_with_reference ((s1, d1), (s2, d2)) =
+  let prod_a = Pairing.of_entries (mk_sheds 0 s1) (mk_lights 50 d1) in
+  let prod_b = Pairing.of_entries (mk_sheds 100 s2) (mk_lights 150 d2) in
+  let ref_a =
+    Pairing_reference.of_entries (mk_sheds 0 s1) (mk_lights 50 d1)
+  in
+  let ref_b =
+    Pairing_reference.of_entries (mk_sheds 100 s2) (mk_lights 150 d2)
+  in
+  let prod = Pairing.merge prod_a prod_b in
+  let ref_ = Pairing_reference.merge ref_a ref_b in
+  pools_agree prod ref_
+  &&
+  (* A merge then a pairing — the bottom-up sweep's exact sequence. *)
+  let pa, pl = Pairing.pair ~l_min:0.125 prod in
+  let ra, rl = Pairing_reference.pair ~l_min:0.125 ref_ in
+  assignments_equal pa ra && pools_agree pl rl
+
+(* The VSA hot path partitions each leaf's arrival-ordered record slice
+   into shed/light scratch buffers and calls Pairing.of_slices; the
+   retained list path (Vsa.pool_of_records) folds the same records
+   through of_entries.  Both must build identical pools. *)
+let vsa_record_case =
+  Prop.list_of ~max_len:14 (Prop.pair (Prop.int_in 0 1) discrete_load)
+
+let prop_vsa_grouping_agrees tagged =
+  let records =
+    List.mapi
+      (fun i (kind, x) ->
+        if kind = 0 then
+          Types.Shed
+            { Types.vs_load = x; vs_id = Id.of_int (1000 + i); heavy_node = i }
+        else Types.Light { Types.deficit = x; light_node = 500 + i })
+      tagged
+  in
+  (* Reference: reverse-arrival list, as the per-leaf Hashtbl held it. *)
+  let ref_pool = P2plb.Vsa.pool_of_records (List.rev records) in
+  (* Production: arrival-ordered scratch-buffer prefixes. *)
+  let sheds =
+    Array.of_list
+      (List.filter_map
+         (fun (r : Types.vsa_record) ->
+           match r with Types.Shed s -> Some s | Types.Light _ -> None)
+         records)
+  in
+  let lights =
+    Array.of_list
+      (List.filter_map
+         (fun (r : Types.vsa_record) ->
+           match r with Types.Light l -> Some l | Types.Shed _ -> None)
+         records)
+  in
+  let prod_pool =
+    Pairing.of_slices sheds (Array.length sheds) lights (Array.length lights)
+  in
+  shed_entries_equal (Pairing.shed_entries prod_pool)
+    (Pairing.shed_entries ref_pool)
+  && light_entries_equal
+       (Pairing.light_entries prod_pool)
+       (Pairing.light_entries ref_pool)
+  &&
+  let pa, _ = Pairing.pair ~l_min:0.125 prod_pool in
+  let ra, _ = Pairing.pair ~l_min:0.125 ref_pool in
+  assignments_equal pa ra
+
+let test_pair_agrees_with_reference () =
+  Prop.run ~seed:0x5eed06 ~name:"array pairing = Set reference (pair)"
+    ref_pair_case prop_pair_agrees_with_reference
+
+let test_merge_agrees_with_reference () =
+  Prop.run ~seed:0x5eed07 ~name:"array pairing = Set reference (merge)"
+    ref_merge_case prop_merge_agrees_with_reference
+
+let test_vsa_grouping_agrees () =
+  Prop.run ~seed:0x5eed08 ~name:"VSA slice grouping = list reference"
+    vsa_record_case prop_vsa_grouping_agrees
+
 let () =
   Alcotest.run "prop"
     [
@@ -228,5 +383,11 @@ let () =
         [
           Alcotest.test_case "shed-load conservation" `Quick
             test_pairing_conserves;
+          Alcotest.test_case "agrees with Set reference: pair" `Quick
+            test_pair_agrees_with_reference;
+          Alcotest.test_case "agrees with Set reference: merge" `Quick
+            test_merge_agrees_with_reference;
+          Alcotest.test_case "VSA grouping agrees with list path" `Quick
+            test_vsa_grouping_agrees;
         ] );
     ]
